@@ -1,0 +1,226 @@
+// Command retail-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	retail-bench -list
+//	retail-bench -exp fig11 -apps xapian,moses
+//	retail-bench -exp all -quick
+//
+// Each experiment prints the same rows/series the paper reports. The
+// default (non -quick) configuration uses the paper's resolution: 20
+// workers, 1000 calibration samples per frequency, loads 10%–100% in 10%
+// steps. -quick shrinks everything for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"retail/internal/experiments"
+)
+
+type runner struct {
+	name string
+	desc string
+	run  func(cfg experiments.Config, apps []string) (fmt.Stringer, error)
+}
+
+type rendered string
+
+func (r rendered) String() string { return string(r) }
+
+// renderedWith carries CSV-exportable results alongside the text render.
+type renderedWith struct {
+	text string
+	exp  map[string]experiments.CSVExportable
+}
+
+func (r renderedWith) String() string                                { return r.text }
+func (r renderedWith) exports() map[string]experiments.CSVExportable { return r.exp }
+
+func wrap(f func(experiments.Config) (interface{ Render() string }, error)) func(experiments.Config, []string) (fmt.Stringer, error) {
+	return func(cfg experiments.Config, _ []string) (fmt.Stringer, error) {
+		res, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if e, ok := res.(experiments.CSVExportable); ok {
+			return renderedWith{text: res.Render(), exp: map[string]experiments.CSVExportable{expName(res): e}}, nil
+		}
+		return rendered(res.Render()), nil
+	}
+}
+
+// expName derives a stable CSV filename from the result type.
+func expName(res any) string {
+	name := fmt.Sprintf("%T", res)
+	name = strings.TrimPrefix(name, "*experiments.")
+	return strings.ToLower(strings.TrimSuffix(name, "Result"))
+}
+
+func allRunners() []runner {
+	return []runner{
+		{"fig1", "ImgDNN service vs sojourn time across RPS", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig1(c) })},
+		{"fig2", "service-time CDFs and Table II ratios", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig2(c) })},
+		{"fig3", "request-length interpretations vs service time", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig3(c) })},
+		{"fig4", "per-TPC-C-type service CDFs (Shore/Silo)", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig4(c) })},
+		{"fig5", "application features vs service time", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig5(c) })},
+		{"fig6", "application-feature lateness", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig6(c) })},
+		{"table4", "LR vs NN-G vs NN-T overhead/accuracy", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.TableIV(c) })},
+		{"fig8", "Xapian fit curves (LR line vs NN wiggle)", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig8(c) })},
+		{"fig9", "R² vs training-set size", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig9(c) })},
+		{"fig11", "power / drops / tails sweep + Table V (per app)",
+			func(cfg experiments.Config, apps []string) (fmt.Stringer, error) {
+				res, err := experiments.Fig11(cfg, apps)
+				if err != nil {
+					return nil, err
+				}
+				return renderedWith{text: res.Render(), exp: map[string]experiments.CSVExportable{"fig11": res}}, nil
+			}},
+		{"fig12", "ReTail decomposition (feature space × mechanism)",
+			func(cfg experiments.Config, apps []string) (fmt.Stringer, error) {
+				if len(apps) == 0 {
+					apps = []string{"xapian", "shore"}
+				}
+				var out strings.Builder
+				exp := map[string]experiments.CSVExportable{}
+				for _, a := range apps {
+					res, err := experiments.Fig12(cfg, a)
+					if err != nil {
+						return nil, err
+					}
+					out.WriteString(res.Render())
+					out.WriteByte('\n')
+					exp["fig12_"+a] = res
+				}
+				return renderedWith{text: out.String(), exp: exp}, nil
+			}},
+		{"fig13", "PARTIES + ReTail colocation timeline", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig13(c) })},
+		{"fig14", "model drift, retraining and recovery timeline", wrap(func(c experiments.Config) (interface{ Render() string }, error) { return experiments.Fig14(c) })},
+		{"ablation", "ReTail design-choice ablations (monitor, queue awareness, per-frequency models, stage-1 split)",
+			func(cfg experiments.Config, apps []string) (fmt.Stringer, error) {
+				if len(apps) == 0 {
+					apps = []string{"moses", "xapian"}
+				}
+				var out strings.Builder
+				exp := map[string]experiments.CSVExportable{}
+				for _, a := range apps {
+					res, err := experiments.Ablation(cfg, a)
+					if err != nil {
+						return nil, err
+					}
+					out.WriteString(res.Render())
+					out.WriteByte('\n')
+					exp["ablation_"+a] = res
+				}
+				return renderedWith{text: out.String(), exp: exp}, nil
+			}},
+		{"spike", "load-spike response: QoS′ collapse and recovery",
+			func(cfg experiments.Config, apps []string) (fmt.Stringer, error) {
+				app := "xapian"
+				if len(apps) > 0 {
+					app = apps[0]
+				}
+				res, err := experiments.LoadSpike(cfg, app)
+				if err != nil {
+					return nil, err
+				}
+				return renderedWith{text: res.Render(), exp: map[string]experiments.CSVExportable{"spike_" + app: res}}, nil
+			}},
+		{"overhead", "§VII-F decision/transition overhead accounting",
+			func(cfg experiments.Config, apps []string) (fmt.Stringer, error) {
+				if len(apps) == 0 {
+					apps = []string{"xapian"}
+				}
+				var out strings.Builder
+				for _, a := range apps {
+					res, err := experiments.Overhead(cfg, a)
+					if err != nil {
+						return nil, err
+					}
+					out.WriteString(res.Render())
+				}
+				return rendered(out.String()), nil
+			}},
+	}
+}
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		appsFlag = flag.String("apps", "", "comma-separated app filter for fig11/fig12/overhead (default: all)")
+		quick    = flag.Bool("quick", false, "reduced configuration for a fast pass")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files into")
+	)
+	flag.Parse()
+
+	runners := allRunners()
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("  %-9s %s\n", r.name, r.desc)
+		}
+		return
+	}
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+
+	var apps []string
+	if *appsFlag != "" {
+		apps = strings.Split(*appsFlag, ",")
+	}
+	want := map[string]bool{}
+	runAll := *expFlag == "all"
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	exit := 0
+	for _, r := range runners {
+		if !runAll && !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := r.run(cfg, apps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("==== %s (%s) [%s]\n%s\n", r.name, r.desc, time.Since(start).Round(time.Millisecond), out)
+		if *csvDir != "" {
+			if exp, ok := out.(interface {
+				exports() map[string]experiments.CSVExportable
+			}); ok {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					exit = 1
+					continue
+				}
+				for name, e := range exp.exports() {
+					path := filepath.Join(*csvDir, name+".csv")
+					f, err := os.Create(path)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+						exit = 1
+						continue
+					}
+					if err := e.CSV(f); err != nil {
+						fmt.Fprintf(os.Stderr, "csv %s: %v\n", path, err)
+						exit = 1
+					}
+					f.Close()
+					fmt.Printf("  wrote %s\n", path)
+				}
+			}
+		}
+	}
+	os.Exit(exit)
+}

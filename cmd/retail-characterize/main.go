@@ -1,0 +1,89 @@
+// Command retail-characterize reproduces the paper's §III workload
+// characterization (Figs 1–6, Table II): service-time distributions,
+// which request/application features correlate with latency, and the
+// lateness of application features. It is the "look before you manage"
+// step that motivates ReTail's design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"retail/internal/experiments"
+	"retail/internal/features"
+	"retail/internal/workload"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sample counts")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+
+	if r, err := experiments.Fig2(cfg); err == nil {
+		fmt.Println(r.Render())
+	} else {
+		log.Fatal(err)
+	}
+	if r, err := experiments.Fig1(cfg); err == nil {
+		fmt.Println(r.Render())
+	} else {
+		log.Fatal(err)
+	}
+	if r, err := experiments.Fig3(cfg); err == nil {
+		fmt.Println(r.Render())
+	} else {
+		log.Fatal(err)
+	}
+	if r, err := experiments.Fig4(cfg); err == nil {
+		fmt.Println(r.Render())
+	} else {
+		log.Fatal(err)
+	}
+	if r, err := experiments.Fig5(cfg); err == nil {
+		fmt.Println(r.Render())
+	} else {
+		log.Fatal(err)
+	}
+	if r, err := experiments.Fig6(cfg); err == nil {
+		fmt.Println(r.Render())
+	} else {
+		log.Fatal(err)
+	}
+
+	// Bonus: the end-to-end feature-selection verdict per application.
+	fmt.Println("Feature selection (§IV) per application")
+	for _, app := range workload.All() {
+		ds := datasetFor(app, cfg)
+		sel, err := features.Select(ds, features.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs := app.FeatureSpecs()
+		names := make([]string, 0, len(sel.Selected))
+		for _, j := range sel.Selected {
+			names = append(names, specs[j].Name)
+		}
+		fmt.Printf("  %-9s selected %v  (combined CD %.3f)\n", app.Name(), names, sel.CombinedCD)
+	}
+}
+
+func datasetFor(app workload.App, cfg experiments.Config) features.Dataset {
+	ds := features.Dataset{Specs: app.FeatureSpecs()}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.SamplesPerLevel; i++ {
+		r := app.Generate(rng)
+		ds.X = append(ds.X, r.Features)
+		ds.Service = append(ds.Service, float64(r.ServiceBase))
+	}
+	return ds
+}

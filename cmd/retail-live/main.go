@@ -1,0 +1,111 @@
+// Command retail-live runs the wall-clock ReTail runtime: a real TCP
+// server with per-worker queues and Algorithm 1 frequency decisions,
+// loaded by an in-process open-loop client. By default the DVFS backend
+// is mocked (the demo executor scales its synthetic work to the decided
+// frequency); with -sysfs it writes the Linux cpufreq userspace governor
+// files, exactly as the paper's testbed does.
+//
+//	retail-live -app xapian -rps 150 -duration 5s
+//	sudo retail-live -app xapian -sysfs -cores 2,3  # real DVFS (Linux)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"retail/internal/core"
+	"retail/internal/cpu"
+	"retail/internal/live"
+	"retail/internal/workload"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "xapian", "application model")
+		rps      = flag.Float64("rps", 150, "client request rate")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		workers  = flag.Int("workers", 2, "worker goroutines")
+		scale    = flag.Float64("scale", 0.2, "time compression for the demo executor")
+		sysfs    = flag.Bool("sysfs", false, "drive real cpufreq files instead of the mock")
+		sysfsDir = flag.String("sysfs-root", "/sys/devices/system/cpu", "cpufreq root")
+		coresArg = flag.String("cores", "", "comma-separated physical cores for -sysfs")
+	)
+	flag.Parse()
+
+	app := workload.ByName(*appName)
+	if app == nil {
+		log.Fatalf("unknown app %q", *appName)
+	}
+	platform := core.DefaultPlatform().WithWorkers(*workers)
+	log.Printf("calibrating %s …", app.Name())
+	cal, err := core.Calibrate(app, platform, 1000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	grid := platform.Grid
+	mock := live.NewMockBackend(grid)
+	var backend live.Backend = mock
+	if *sysfs {
+		var cores []int
+		for _, c := range strings.Split(*coresArg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil {
+				log.Fatalf("bad -cores: %v", err)
+			}
+			cores = append(cores, n)
+		}
+		b, err := live.NewSysfsBackend(grid, *sysfsDir, cores)
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend = b
+		*scale = 1 // real hardware runs in real time
+	}
+
+	srv, err := live.NewServer(live.ServerConfig{
+		Addr:      "127.0.0.1:0",
+		Workers:   *workers,
+		QoS:       app.QoS(),
+		Predictor: scaled{cal.Model, *scale},
+		Backend:   backend,
+		Exec:      live.DemoExecutor(app, mock, *scale),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+	log.Printf("serving on %s; loading at %.0f RPS for %v", srv.Addr(), *rps, *duration)
+
+	res, err := live.RunClient(live.ClientConfig{
+		Addr: srv.Addr(), App: app, RPS: *rps, Duration: *duration,
+		Conns: 8, Seed: 7, TimeScale: *scale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf(`sent        %d
+completed   %d
+latency     p50 %v   p95 %v   p99 %v   mean %v
+decisions   %d frequency decisions, %d DVFS writes
+qos'        %v (target %v × scale %.2f)
+`, res.Sent, res.Completed, res.P50, res.P95, res.P99, res.Mean,
+		srv.Decisions(), mock.Writes(), srv.QoSPrime(),
+		time.Duration(float64(app.QoS().Latency)*1e9), *scale)
+}
+
+type scaled struct {
+	inner interface {
+		Predict(cpu.Level, []float64) float64
+	}
+	s float64
+}
+
+func (p scaled) Predict(lvl cpu.Level, f []float64) float64 {
+	return p.inner.Predict(lvl, f) * p.s
+}

@@ -1,0 +1,112 @@
+// Command retail-sim runs a single measured simulation: one application,
+// one power manager, one load point. It prints the run summary (power,
+// latency percentiles, drops, QoS verdict) and is the quickest way to poke
+// at the system.
+//
+// Usage:
+//
+//	retail-sim -app xapian -manager retail -load 0.7
+//	retail-sim -app silo -manager gemini -rps 20000 -duration 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"retail/internal/core"
+	"retail/internal/experiments"
+	"retail/internal/manager"
+	"retail/internal/nn"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "xapian", "application: "+strings.Join(experiments.AppNames(), ", "))
+		mgrName  = flag.String("manager", "retail", "power manager: retail, rubik, gemini, adrenaline, eetl, pegasus, maxfreq")
+		load     = flag.Float64("load", 0.7, "load as a fraction of calibrated max load")
+		rps      = flag.Float64("rps", 0, "absolute request rate (overrides -load)")
+		workers  = flag.Int("workers", 20, "worker cores")
+		duration = flag.Float64("duration", 0, "measured seconds (0 = auto)")
+		seed     = flag.Int64("seed", 7, "simulation seed")
+		samples  = flag.Int("samples", 1000, "calibration samples per frequency level")
+		quickNN  = flag.Bool("quick-nn", true, "use a small NN for gemini instead of the 5×128")
+	)
+	flag.Parse()
+
+	app := workload.ByName(*appName)
+	if app == nil {
+		log.Fatalf("unknown app %q", *appName)
+	}
+	platform := core.DefaultPlatform().WithWorkers(*workers)
+	cal, err := core.Calibrate(app, platform, *samples, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate := *rps
+	if rate <= 0 {
+		rate = core.CalibrateMaxLoad(app, platform, *seed) * *load
+	}
+	var m manager.Manager
+	switch *mgrName {
+	case "retail":
+		m = cal.NewReTail()
+	case "rubik":
+		m = cal.NewRubik()
+	case "gemini":
+		var cfg *nn.Config
+		if *quickNN {
+			c := nn.TunedConfig(1, 2, 32, 30, 32)
+			cfg = &c
+		}
+		m, err = cal.NewGemini(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "adrenaline":
+		m = cal.NewAdrenaline()
+	case "eetl":
+		m = cal.NewEETL()
+	case "pegasus":
+		m = cal.NewPegasus()
+	case "maxfreq":
+		m = cal.NewMaxFreq()
+	default:
+		log.Fatalf("unknown manager %q", *mgrName)
+	}
+
+	dur := sim.Duration(*duration)
+	if dur <= 0 {
+		dur = core.RecommendedDuration(app, rate)
+	}
+	res, err := core.Run(core.RunConfig{
+		App: app, Platform: platform, Manager: m,
+		RPS: rate, Warmup: dur / 5, Duration: dur, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	verdict := "MET"
+	if !res.QoSMet {
+		verdict = "VIOLATED"
+	}
+	fmt.Printf(`app          %s  (QoS %s)
+manager      %s
+load         %.0f RPS over %v (%d workers)
+completed    %d   dropped %d (%.2f%%)
+power        %.2f W avg   (%.1f J)
+latency      p50 %v   p95 %v   p99 %v   mean %v
+QoS          %s (p%g = %v vs target %v)
+transitions  %d frequency changes
+`,
+		res.App, app.QoS(), res.Manager, res.RPS, dur, *workers,
+		res.Completed, res.Dropped, res.DropRate()*100,
+		res.AvgPowerW, res.EnergyJ,
+		sim.Time(res.P50), sim.Time(res.P95), sim.Time(res.P99), sim.Time(res.MeanLatency),
+		verdict, app.QoS().Percentile, sim.Time(res.TailAtQoSPct), app.QoS().Latency,
+		res.Transitions)
+}

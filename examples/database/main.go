@@ -1,0 +1,89 @@
+// Database: a Silo-like in-memory TPC-C engine — the paper's
+// "combinational" category, where request features (transaction type,
+// ordered-item count) and application features (rollback flag,
+// distinct-item count) jointly explain service time, and where
+// sub-millisecond requests make per-request DVFS hard (frequency
+// transitions cost a comparable 10–500 µs).
+//
+// The example shows the per-(type × frequency) linear models ReTail fits
+// — the explainability the paper argues for — and then compares managers.
+//
+//	go run ./examples/database
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"retail/internal/core"
+	"retail/internal/predict"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+func main() {
+	app := workload.NewSilo()
+	platform := core.DefaultPlatform().WithWorkers(8)
+	cal, err := core.Calibrate(app, platform, 1000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	specs := app.FeatureSpecs()
+	fmt.Printf("Selected features for %s:", app.Name())
+	for _, j := range cal.Selection.Selected {
+		fmt.Printf(" %s", specs[j].Name)
+	}
+	fmt.Printf("  (combined CD %.3f)\n\n", cal.Selection.CombinedCD)
+
+	// Explainability (§V-B point 4): the fitted coefficients are readable.
+	// Predict a few representative transactions at min and max frequency.
+	fmt.Println("Per-transaction predictions (the model is a handful of coefficients):")
+	cases := []struct {
+		label string
+		feats []float64
+	}{
+		{"NEW_ORDER, 5 items", []float64{workload.TxNewOrder, 5, 0, 0}},
+		{"NEW_ORDER, 15 items", []float64{workload.TxNewOrder, 15, 0, 0}},
+		{"PAYMENT", []float64{workload.TxPayment, 0, 0, 0}},
+		{"STOCK_LEVEL, 120 distinct", []float64{workload.TxStockLevel, 0, 0, 120}},
+		{"STOCK_LEVEL, 300 distinct", []float64{workload.TxStockLevel, 0, 0, 300}},
+	}
+	grid := platform.Grid
+	for _, c := range cases {
+		lo := cal.Model.Predict(0, c.feats)
+		hi := cal.Model.Predict(grid.MaxLevel(), c.feats)
+		fmt.Printf("  %-26s %8v @1.0GHz   %8v @2.1GHz\n",
+			c.label, sim.Time(lo), sim.Time(hi))
+	}
+	fmt.Println()
+
+	// Live accuracy check at the managed operating point.
+	maxLoad := core.CalibrateMaxLoad(app, platform, 1)
+	rps := maxLoad * 0.7
+	dur := core.RecommendedDuration(app, rps)
+	rr, err := core.Run(core.RunConfig{App: app, Platform: platform, Manager: cal.NewReTail(),
+		RPS: rps, Warmup: dur / 5, Duration: dur, Seed: 7, CollectSamples: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rb, err := core.Run(core.RunConfig{App: app, Platform: platform, Manager: cal.NewRubik(),
+		RPS: rps, Warmup: dur / 5, Duration: dur, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mx, err := core.Run(core.RunConfig{App: app, Platform: platform, Manager: cal.NewMaxFreq(),
+		RPS: rps, Warmup: dur / 5, Duration: dur, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	met, _ := predict.Evaluate(cal.Model, rr.Samples)
+	fmt.Printf("At 70%% load (%.0f RPS), %v window:\n", rps, dur)
+	fmt.Printf("  maxfreq: %5.1f W  p99 %v\n", mx.AvgPowerW, sim.Time(mx.TailAtQoSPct))
+	fmt.Printf("  rubik:   %5.1f W  p99 %v  QoS met %v\n", rb.AvgPowerW, sim.Time(rb.TailAtQoSPct), rb.QoSMet)
+	fmt.Printf("  retail:  %5.1f W  p99 %v  QoS met %v  (live RMSE/QoS %.1f%%)\n",
+		rr.AvgPowerW, sim.Time(rr.TailAtQoSPct), rr.QoSMet, met.RMSE/float64(app.QoS().Latency)*100)
+	fmt.Println("\nNote the modest gap vs Rubik: with sub-millisecond requests the")
+	fmt.Println("frequency-transition latency (10–500µs) eats into per-request savings —")
+	fmt.Println("the paper's §VII-B observation for Silo.")
+}

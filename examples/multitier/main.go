@@ -1,0 +1,58 @@
+// Multitier: the paper's cluster-deployment story (§VII-A). A search
+// front-end (Xapian-like) calls an in-memory store back-end (Silo-like);
+// only the end-to-end p99 target is given. The cluster scheduler splits
+// the budget across tiers in proportion to their profiled tails, and one
+// ReTail instance per tier manages power against its own per-node target.
+//
+//	go run ./examples/multitier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"retail/internal/cluster"
+	"retail/internal/core"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+func main() {
+	endToEnd := workload.QoS{Latency: 20e-3, Percentile: 99}
+	tiers := []*cluster.Tier{
+		{App: workload.NewXapian(), Workers: 4}, // search tier
+		{App: workload.NewSilo(), Workers: 4},   // storage tier
+	}
+
+	// 1. The cluster scheduler allocates per-tier budgets.
+	if err := cluster.AllocateBudgets(endToEnd, tiers, 0.1, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("end-to-end %v split across tiers:\n", endToEnd)
+	for i, t := range tiers {
+		fmt.Printf("  tier %d (%s): budget %v\n", i, t.App.Name(), t.Budget)
+	}
+
+	// 2. Each tier gets its own calibrated ReTail runtime.
+	e := sim.NewEngine()
+	platform := core.DefaultPlatform()
+	pipe, err := cluster.NewPipeline(e, endToEnd, tiers, platform, 1000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Load the pipeline and measure.
+	rps := core.CalibrateMaxLoad(tiers[0].App, platform.WithWorkers(tiers[0].Workers), 1) * 0.5
+	gen := workload.NewGenerator(tiers[0].App, rps, 7, pipe.Submit)
+	gen.Start(e)
+	e.At(2, "measure", func(en *sim.Engine) { pipe.ResetEnergy(en) })
+	e.Run(12)
+	gen.Stop()
+
+	tail, _ := pipe.TailLatency()
+	fmt.Printf("\nat %.0f RPS end-to-end:\n", rps)
+	fmt.Printf("  completed        %d requests\n", pipe.Completed())
+	fmt.Printf("  end-to-end p99   %v (target %v, met: %v)\n",
+		sim.Time(tail), endToEnd.Latency, pipe.QoSMet())
+	fmt.Printf("  pipeline power   %.1f W\n", pipe.PowerW(e.Now()))
+}

@@ -1,0 +1,67 @@
+// Quickstart: calibrate ReTail for one application, run it against the
+// unmanaged baseline, and print the power/latency outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"retail/internal/core"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+func main() {
+	// 1. Pick a latency-critical application and a platform. Xapian-like
+	//    web search: request latency is explained by an application
+	//    feature (the matched-document count) that only becomes known
+	//    shortly after processing starts.
+	app := workload.NewXapian()
+	platform := core.DefaultPlatform().WithWorkers(8)
+
+	// 2. Calibrate: profile 1000 requests per frequency setting, select
+	//    the features that correlate with service time, and fit the
+	//    per-(category × frequency) linear latency predictor.
+	cal, err := core.Calibrate(app, platform, 1000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := app.FeatureSpecs()
+	fmt.Printf("Feature selection for %s:\n", app.Name())
+	for _, j := range cal.Selection.Selected {
+		fmt.Printf("  selected %q (lateness %.2f, standalone CD %.3f)\n",
+			specs[j].Name, specs[j].Lateness, cal.Selection.IndividualCD[j])
+	}
+	fmt.Printf("  combined correlation degree %.3f, model RMSE/QoS %.2f%%\n\n",
+		cal.Selection.CombinedCD, cal.BaselineRMSEOverQoS*100)
+
+	// 3. Find the application's max load (highest RPS meeting QoS on the
+	//    unmanaged system) and run at 70% of it.
+	rps := core.CalibrateMaxLoad(app, platform, 1) * 0.7
+	dur := core.RecommendedDuration(app, rps)
+
+	baseline, err := core.Run(core.RunConfig{
+		App: app, Platform: platform, Manager: cal.NewMaxFreq(),
+		RPS: rps, Warmup: dur / 5, Duration: dur, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	managed, err := core.Run(core.RunConfig{
+		App: app, Platform: platform, Manager: cal.NewReTail(),
+		RPS: rps, Warmup: dur / 5, Duration: dur, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("At %.0f RPS (70%% of max load), %v measured:\n", rps, dur)
+	fmt.Printf("  default (max frequency): %6.1f W, p99 = %v\n",
+		baseline.AvgPowerW, sim.Time(baseline.P99))
+	fmt.Printf("  ReTail:                  %6.1f W, p99 = %v (QoS %v met: %v)\n",
+		managed.AvgPowerW, sim.Time(managed.P99), app.QoS().Latency, managed.QoSMet)
+	fmt.Printf("  power saving:            %6.1f%%\n",
+		(1-managed.AvgPowerW/baseline.AvgPowerW)*100)
+}

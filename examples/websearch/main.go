@@ -1,0 +1,78 @@
+// Websearch: the paper's motivating scenario. A Xapian-like search engine
+// whose request latency is driven by an *application feature* (the number
+// of matched documents) that no request-arrival field predicts. The
+// example contrasts:
+//
+//   - Gemini, whose feature space is restricted to request-arrival fields
+//     (and which sheds load when it predicts a deadline miss), against
+//   - ReTail, which splits request processing so the matched-document
+//     count is extracted eagerly and fed to the per-frequency linear model.
+//
+// Expected outcome (the paper's §VII-B point 2): Gemini's prediction error
+// on this workload is large, it violates QoS at high load and drops
+// requests, while ReTail meets QoS without drops at lower power.
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"retail/internal/core"
+	"retail/internal/nn"
+	"retail/internal/predict"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+func main() {
+	app := workload.NewXapian()
+	platform := core.DefaultPlatform().WithWorkers(8)
+	cal, err := core.Calibrate(app, platform, 1000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How well can each predictor possibly do? Score both against a fresh
+	// profile: the NN sees only request-arrival features (query length —
+	// uninformative); the linear model sees the matched-document count.
+	nncfg := nn.TunedConfig(1, 2, 32, 40, 32)
+	gemModel, err := cal.GeminiModel(&nncfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := cal.Training.At(platform.Grid.MaxLevel())
+	gemMet, _ := predict.Evaluate(gemModel, test)
+	lrMet, _ := predict.Evaluate(cal.Model, test)
+	fmt.Printf("Predictor accuracy on %s (QoS %v):\n", app.Name(), app.QoS().Latency)
+	fmt.Printf("  Gemini NN (request features only): R²=%.3f RMSE/QoS=%.1f%%\n",
+		gemMet.R2, gemMet.RMSE/float64(app.QoS().Latency)*100)
+	fmt.Printf("  ReTail LR (with doc_count):        R²=%.3f RMSE/QoS=%.1f%%\n\n",
+		lrMet.R2, lrMet.RMSE/float64(app.QoS().Latency)*100)
+
+	maxLoad := core.CalibrateMaxLoad(app, platform, 1)
+	for _, lf := range []float64{0.5, 0.9} {
+		rps := maxLoad * lf
+		dur := core.RecommendedDuration(app, rps)
+		gem, err := cal.NewGemini(&nncfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gr, err := core.Run(core.RunConfig{App: app, Platform: platform, Manager: gem,
+			RPS: rps, Warmup: dur / 5, Duration: dur, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := core.Run(core.RunConfig{App: app, Platform: platform, Manager: cal.NewReTail(),
+			RPS: rps, Warmup: dur / 5, Duration: dur, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("load %3.0f%% (%5.0f RPS):\n", lf*100, rps)
+		fmt.Printf("  gemini: %5.1f W  p99 %-10v QoS met %-5v drops %.1f%%\n",
+			gr.AvgPowerW, sim.Time(gr.TailAtQoSPct), gr.QoSMet, gr.DropRate()*100)
+		fmt.Printf("  retail: %5.1f W  p99 %-10v QoS met %-5v drops %.1f%%\n",
+			rr.AvgPowerW, sim.Time(rr.TailAtQoSPct), rr.QoSMet, rr.DropRate()*100)
+	}
+}

@@ -1,0 +1,3 @@
+module retail
+
+go 1.22

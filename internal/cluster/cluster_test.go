@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"testing"
+
+	"retail/internal/core"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+func TestAllocateBudgetsProportional(t *testing.T) {
+	qos := workload.QoS{Latency: 20e-3, Percentile: 99}
+	tiers := []*Tier{
+		{App: workload.NewXapian(), Workers: 4}, // p95 svc ≈ 3.9ms
+		{App: workload.NewSilo(), Workers: 4},   // p95 svc ≈ 0.33ms
+	}
+	if err := AllocateBudgets(qos, tiers, 0.1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tiers[0].Budget <= tiers[1].Budget {
+		t.Fatalf("slow tier got smaller budget: %v vs %v", tiers[0].Budget, tiers[1].Budget)
+	}
+	sum := tiers[0].Budget + tiers[1].Budget
+	want := sim.Duration(0.9 * float64(qos.Latency))
+	if sum < want*0.99 || sum > want*1.01 {
+		t.Fatalf("budget sum %v, want ≈%v", sum, want)
+	}
+}
+
+func TestAllocateBudgetsValidation(t *testing.T) {
+	qos := workload.QoS{Latency: 20e-3, Percentile: 99}
+	if err := AllocateBudgets(qos, nil, 0.1, 1); err == nil {
+		t.Fatal("no tiers accepted")
+	}
+	tiers := []*Tier{{App: workload.NewXapian(), Workers: 2}}
+	if err := AllocateBudgets(qos, tiers, 1.5, 1); err == nil {
+		t.Fatal("margin ≥ 1 accepted")
+	}
+	// An infeasible end-to-end target (tighter than a tier's own p95
+	// service) must be rejected, not silently violated.
+	tight := workload.QoS{Latency: 2e-3, Percentile: 99}
+	if err := AllocateBudgets(tight, []*Tier{{App: workload.NewXapian(), Workers: 2}}, 0.1, 1); err == nil {
+		t.Fatal("infeasible end-to-end QoS accepted")
+	}
+}
+
+func TestPipelineRequiresBudgets(t *testing.T) {
+	e := sim.NewEngine()
+	tiers := []*Tier{{App: workload.NewSilo(), Workers: 2}}
+	platform := core.DefaultPlatform().WithWorkers(2)
+	if _, err := NewPipeline(e, workload.QoS{Latency: 5e-3, Percentile: 99}, tiers, platform, 100, 1); err == nil {
+		t.Fatal("pipeline built without budgets")
+	}
+}
+
+// End-to-end two-tier run: xapian front-end + silo back-end under one
+// end-to-end p99 target, each tier power-managed by its own ReTail
+// against its allocated budget.
+func TestTwoTierPipelineMeetsEndToEndQoS(t *testing.T) {
+	qos := workload.QoS{Latency: 20e-3, Percentile: 99}
+	tiers := []*Tier{
+		{App: workload.NewXapian(), Workers: 4},
+		{App: workload.NewSilo(), Workers: 4},
+	}
+	if err := AllocateBudgets(qos, tiers, 0.1, 1); err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	platform := core.DefaultPlatform()
+	pipe, err := NewPipeline(e, qos, tiers, platform, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load at roughly half the front tier's standalone capacity.
+	rps := core.CalibrateMaxLoad(tiers[0].App, platform.WithWorkers(tiers[0].Workers), 1) * 0.5
+	gen := workload.NewGenerator(tiers[0].App, rps, 7, pipe.Submit)
+	gen.Start(e)
+	e.At(1, "measure", func(en *sim.Engine) { pipe.ResetEnergy(en) })
+	e.Run(8)
+	gen.Stop()
+
+	if pipe.Completed() < int(0.8*rps*7) {
+		t.Fatalf("completed %d end-to-end of ~%d", pipe.Completed(), int(rps*7))
+	}
+	tail, ok := pipe.TailLatency()
+	if !ok {
+		t.Fatal("no tail")
+	}
+	if !pipe.QoSMet() {
+		t.Fatalf("end-to-end p99 = %v exceeds %v", sim.Time(tail), qos.Latency)
+	}
+	// Each tier actually downclocked: mean effective level below max on
+	// at least one tier (light load on both).
+	belowMax := false
+	for _, srv := range pipe.Servers() {
+		for _, c := range srv.Socket.Cores {
+			if c.EffectiveLevel() < c.Grid().MaxLevel() {
+				belowMax = true
+			}
+		}
+	}
+	if !belowMax {
+		t.Fatal("no tier ever left max frequency")
+	}
+	if pipe.PowerW(e.Now()) <= 0 {
+		t.Fatal("no power accounted")
+	}
+}

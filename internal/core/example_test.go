@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"retail/internal/core"
+	"retail/internal/workload"
+)
+
+// ExampleCalibrate shows the calibration pipeline: profile, select
+// features, fit the per-frequency linear model.
+func ExampleCalibrate() {
+	app := workload.NewMoses()
+	platform := core.DefaultPlatform().WithWorkers(4)
+	cal, err := core.Calibrate(app, platform, 500, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := app.FeatureSpecs()
+	for _, j := range cal.Selection.Selected {
+		fmt.Println("selected:", specs[j].Name)
+	}
+	fmt.Printf("combined CD > 0.99: %v\n", cal.Selection.CombinedCD > 0.99)
+	// Output:
+	// selected: word_count
+	// combined CD > 0.99: true
+}
+
+// ExampleRun shows a measured simulation under the ReTail manager.
+func ExampleRun() {
+	app := workload.NewImgDNN()
+	platform := core.DefaultPlatform().WithWorkers(4)
+	cal, err := core.Calibrate(app, platform, 300, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(core.RunConfig{
+		App:      app,
+		Platform: platform,
+		Manager:  cal.NewReTail(),
+		RPS:      400,
+		Warmup:   1,
+		Duration: 4,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("manager:", res.Manager)
+	fmt.Println("QoS met:", res.QoSMet)
+	fmt.Println("dropped:", res.Dropped)
+	// Output:
+	// manager: retail
+	// QoS met: true
+	// dropped: 0
+}

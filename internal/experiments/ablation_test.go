@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func ablCells(t *testing.T, app string, loads []float64) map[string]map[float64]AblationCell {
+	t.Helper()
+	cfg := quickCfg()
+	cfg.Loads = loads
+	res, err := Ablation(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]map[float64]AblationCell{}
+	for _, c := range res.Cells {
+		if out[c.Variant] == nil {
+			out[c.Variant] = map[float64]AblationCell{}
+		}
+		out[c.Variant][c.Load] = c
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Fatal("render")
+	}
+	return out
+}
+
+func TestAblationUnknownApp(t *testing.T) {
+	if _, err := Ablation(quickCfg(), "nope"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+// The latency monitor is what makes ReTail QoS-aware at high load: with
+// QoS′ pinned to QoS (Gemini's policy), the tail breaches the target.
+func TestAblationMonitorMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	cells := ablCells(t, "moses", []float64{0.9})
+	if !cells["full"][0.9].QoSMet {
+		t.Fatal("full design violated QoS — baseline broken")
+	}
+	if cells["no-monitor"][0.9].QoSMet {
+		t.Error("no-monitor met QoS at 90% load — the monitor should matter")
+	}
+}
+
+// Queue awareness (Algorithm 1's inner loop): deciding on the head alone
+// forces late corrective boosts, costing power (or QoS) at high load.
+func TestAblationQueueAwarenessMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	cells := ablCells(t, "moses", []float64{0.9})
+	full := cells["full"][0.9]
+	head := cells["head-only"][0.9]
+	if head.QoSMet && head.PowerW < full.PowerW*0.99 {
+		t.Errorf("head-only beat the full design (%.2fW vs %.2fW, QoS met) — queue awareness should matter",
+			head.PowerW, full.PowerW)
+	}
+}
+
+// The two-stage feature-extraction split is what lets Xapian's predictor
+// see the matched-document count for queued requests; without it the
+// model degrades to a feature-less mean and the power/QoS tradeoff
+// worsens on app-feature workloads.
+func TestAblationStage1MattersForXapian(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	cells := ablCells(t, "xapian", []float64{0.6})
+	full := cells["full"][0.6]
+	noS1 := cells["no-stage1"][0.6]
+	if !full.QoSMet {
+		t.Fatal("full design violated QoS")
+	}
+	// Without per-request features, either power rises or QoS breaks.
+	if noS1.QoSMet && noS1.PowerW < full.PowerW*0.99 {
+		t.Errorf("no-stage1 beat the full design (%.2fW vs %.2fW) — the split should matter",
+			noS1.PowerW, full.PowerW)
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVExportable is implemented by experiment results that can emit their
+// raw series for external plotting (the figures in the paper are plots of
+// exactly these columns).
+type CSVExportable interface {
+	CSV(w io.Writer) error
+}
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// CSV emits the Fig 1 series.
+func (r *Fig1Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"rps", "service_p50_s", "sojourn_p50_s", "sojourn_p99_s"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{ftoa(p.RPS), ftoa(p.MeanSvc), ftoa(p.P50Sojourn), ftoa(p.P99Sojourn)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits every app's CDF points plus the Table II summary columns.
+func (r *Fig2Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"app", "value_s", "fraction", "median_s", "p90_s", "median_to_tail"}}
+	for _, a := range r.Apps {
+		for _, p := range a.CDF {
+			rows = append(rows, []string{
+				a.App, ftoa(p.Value), ftoa(p.Fraction),
+				ftoa(a.Median), ftoa(a.P90), ftoa(a.MedianToTail),
+			})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the correlation table.
+func (r *Fig3Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"app", "feature", "pearson", "fit_slope", "fit_intercept"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.App, row.Feature, ftoa(row.Pearson), ftoa(row.FitSlope), ftoa(row.FitIntercept)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the per-type distribution summaries.
+func (r *Fig4Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"app", "tx_type", "value_s", "fraction"}}
+	for _, a := range r.Apps {
+		for _, ty := range a.Types {
+			for _, p := range ty.CDF {
+				rows = append(rows, []string{a.App, ty.Type, ftoa(p.Value), ftoa(p.Fraction)})
+			}
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the Fig 5 correlation/fit rows.
+func (r *Fig5Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"app", "feature", "subset", "pearson", "fit_slope", "fit_intercept", "n"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.App, row.Feature, row.Subset,
+			ftoa(row.Pearson), ftoa(row.FitSlope), ftoa(row.FitIntercept), strconv.Itoa(row.N)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the Table IV rows.
+func (r *TableIVResult) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"app", "model", "structure", "train_s", "infer_s", "r2", "rmse_over_qos"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.App, row.Model, row.Structure,
+			ftoa(row.TrainTime.Seconds()), ftoa(row.InferTime.Seconds()),
+			ftoa(row.R2), ftoa(row.RMSEoQoS)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the fit curves.
+func (r *Fig8Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"doc_count", "truth_s", "lr_s", "nng_s", "nnt_s"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{ftoa(p.DocCount), ftoa(p.Truth), ftoa(p.LR), ftoa(p.NNG), ftoa(p.NNT)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the convergence curves.
+func (r *Fig9Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"app", "n", "r2"}}
+	for _, a := range r.Apps {
+		for _, p := range a.Points {
+			rows = append(rows, []string{a.App, strconv.Itoa(p.N), ftoa(p.R2)})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the full power/drop/tail sweep.
+func (r *Fig11Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"app", "load", "rps", "manager", "power_w", "maxfreq_w", "drop_rate", "tail_s", "qos_met"}}
+	for _, a := range r.Apps {
+		for _, p := range a.Points {
+			for _, m := range ManagerNames {
+				rows = append(rows, []string{
+					a.App, ftoa(p.Load), ftoa(p.RPS), m,
+					ftoa(p.PowerW[m]), ftoa(p.MaxFreqW), ftoa(p.DropRate[m]),
+					ftoa(p.Tail[m]), fmt.Sprintf("%v", p.QoSMet[m]),
+				})
+			}
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the decomposition cells.
+func (r *Fig12Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"app", "feature_space", "mechanism", "load", "power_w", "tail_s", "qos_met"}}
+	for _, c := range r.Cells {
+		rows = append(rows, []string{r.App, c.FeatureSpace, c.Mechanism,
+			ftoa(c.Load), ftoa(c.PowerW), ftoa(c.Tail), fmt.Sprintf("%v", c.QoSMet)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the colocation power timeline.
+func (r *Fig13Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"t_s", "power_w"}}
+	for _, p := range r.Points {
+		rows = append(rows, []string{ftoa(float64(p.At)), ftoa(p.PowerW)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the drift-recovery traces (one row per tail-trace point with
+// step-held RMSE and frequency columns).
+func (r *Fig14Result) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"t_s", "tail_s", "rmse_over_qos", "mean_level"}}
+	rm, fq := 0.0, 0.0
+	ri, fi := 0, 0
+	for _, p := range r.TailTrace {
+		for ri < len(r.RMSETrace) && r.RMSETrace[ri].At <= p.At {
+			rm = r.RMSETrace[ri].Value
+			ri++
+		}
+		for fi < len(r.FreqTrace) && r.FreqTrace[fi].At <= p.At {
+			fq = r.FreqTrace[fi].Value
+			fi++
+		}
+		rows = append(rows, []string{ftoa(float64(p.At)), ftoa(p.Value), ftoa(rm), ftoa(fq)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the ablation sweep.
+func (r *AblationResult) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"app", "variant", "load", "power_w", "tail_s", "qos_met"}}
+	for _, c := range r.Cells {
+		rows = append(rows, []string{r.App, c.Variant, ftoa(c.Load),
+			ftoa(c.PowerW), ftoa(c.Tail), fmt.Sprintf("%v", c.QoSMet)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV emits the spike QoS′ trace.
+func (r *LoadSpikeResult) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"t_s", "qos_prime_s"}}
+	for _, p := range r.QoSPrimeTrace {
+		rows = append(rows, []string{ftoa(float64(p.At)), ftoa(p.Value)})
+	}
+	return writeAll(w, rows)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// checkCSV validates well-formedness: parseable, consistent column
+// counts, a header row, and at least one data row.
+func checkCSV(t *testing.T, name string, e CSVExportable) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.CSV(&buf); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	rd := csv.NewReader(strings.NewReader(buf.String()))
+	rows, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("%s: only %d rows", name, len(rows))
+	}
+	width := len(rows[0])
+	for i, r := range rows {
+		if len(r) != width {
+			t.Fatalf("%s: row %d has %d columns, header has %d", name, i, len(r), width)
+		}
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	cfg := quickCfg()
+	if r, err := Fig2(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCSV(t, "fig2", r)
+	}
+	if r, err := Fig3(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCSV(t, "fig3", r)
+	}
+	if r, err := Fig4(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCSV(t, "fig4", r)
+	}
+	if r, err := Fig5(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCSV(t, "fig5", r)
+	}
+	if r, err := Fig9(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCSV(t, "fig9", r)
+	}
+}
+
+func TestCSVExportsSlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed exports are slow")
+	}
+	cfg := quickCfg()
+	cfg.Loads = []float64{0.5}
+	if r, err := Fig1(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCSV(t, "fig1", r)
+	}
+	if r, err := Fig11(cfg, []string{"imgdnn"}); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCSV(t, "fig11", r)
+	}
+	if r, err := LoadSpike(cfg, "imgdnn"); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCSV(t, "spike", r)
+	}
+	if r, err := Fig14(cfg); err != nil {
+		t.Fatal(err)
+	} else {
+		checkCSV(t, "fig14", r)
+	}
+}

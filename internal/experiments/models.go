@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"retail/internal/core"
+	"retail/internal/cpu"
+	"retail/internal/nn"
+	"retail/internal/predict"
+	"retail/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Table IV — LR vs NN-G vs NN-T: overhead and accuracy.
+
+// ModelRow is one (app, model) row of Table IV.
+type ModelRow struct {
+	App       string
+	Model     string // "LR", "NN-G", "NN-T"
+	Structure string
+	TrainTime time.Duration
+	InferTime time.Duration
+	R2        float64
+	RMSEoQoS  float64
+}
+
+// TableIVResult reproduces Table IV.
+type TableIVResult struct {
+	Rows []ModelRow
+}
+
+// tunedShapes are the per-application NN-T structures, hand-tuned in the
+// spirit of the paper's (layers, neurons, epochs, batch) sweep.
+var tunedShapes = map[string][4]int{
+	"xapian": {1, 16, 150, 32},
+	"moses":  {1, 8, 120, 32},
+	"sphinx": {1, 8, 120, 32},
+}
+
+// TableIV fits LR, the Gemini-structure network and a hand-tuned network
+// on the three numerical-feature applications and reports overheads and
+// held-out accuracy.
+func TableIV(cfg Config) (*TableIVResult, error) {
+	res := &TableIVResult{}
+	grid := cfg.Platform.Grid
+	for _, name := range []string{"xapian", "moses", "sphinx"} {
+		app := workload.ByName(name)
+		cal, err := core.Calibrate(app, cfg.Platform, cfg.SamplesPerLevel, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// Held-out test samples at max frequency.
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		var test []predict.Sample
+		for i := 0; i < cfg.SamplesPerLevel; i++ {
+			r := app.Generate(rng)
+			test = append(test, predict.Sample{
+				Level:    grid.MaxLevel(),
+				Features: r.Features,
+				Service:  float64(r.ServiceAt(grid.MaxFreq(), grid.MaxFreq(), 1)),
+			})
+		}
+		inputs := cal.Selection.Selected
+		if len(inputs) == 0 {
+			inputs = []int{0}
+		}
+		qos := float64(app.QoS().Latency)
+
+		// LR.
+		lrRow, err := scoreModel(name, "LR",
+			fmt.Sprintf("%d features", len(inputs)),
+			cal.Model, cal.Model.TrainDuration, test, qos)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, lrRow)
+
+		// NN-G: Gemini's 5×128.
+		gcfg := nn.GeminiConfig(len(inputs))
+		if cfg.GeminiNN != nil {
+			gcfg = *cfg.GeminiNN
+			gcfg.InputDim = len(inputs)
+		}
+		nng, err := predict.FitNN(cal.Training, grid, gcfg, grid.MaxLevel(), inputs)
+		if err != nil {
+			return nil, err
+		}
+		row, err := scoreModel(name, "NN-G",
+			fmt.Sprintf("(%d, %d)", gcfg.HiddenLayers, gcfg.Neurons),
+			nng, nng.TrainDuration, test, qos)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+
+		// NN-T: small hand-tuned structure.
+		shape := tunedShapes[name]
+		tcfg := nn.TunedConfig(len(inputs), shape[0], shape[1], shape[2], shape[3])
+		nnt, err := predict.FitNN(cal.Training, grid, tcfg, grid.MaxLevel(), inputs)
+		if err != nil {
+			return nil, err
+		}
+		row, err = scoreModel(name, "NN-T",
+			fmt.Sprintf("(%d, %d, %d, %d)", shape[0], shape[1], shape[2], shape[3]),
+			nnt, nnt.TrainDuration, test, qos)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func scoreModel(app, model, structure string, p predict.Predictor, trainTime time.Duration, test []predict.Sample, qos float64) (ModelRow, error) {
+	met, err := predict.Evaluate(p, test)
+	if err != nil {
+		return ModelRow{}, err
+	}
+	// Inference cost: average wall time per prediction.
+	start := time.Now()
+	const reps = 2000
+	for i := 0; i < reps; i++ {
+		s := test[i%len(test)]
+		p.Predict(s.Level, s.Features)
+	}
+	infer := time.Since(start) / reps
+	return ModelRow{
+		App: app, Model: model, Structure: structure,
+		TrainTime: trainTime, InferTime: infer,
+		R2: met.R2, RMSEoQoS: met.RMSE / qos,
+	}, nil
+}
+
+// Render prints the Table IV rows.
+func (r *TableIVResult) Render() string {
+	t := &table{header: []string{"app", "model", "structure", "train", "infer", "R²", "RMSE/QoS"}}
+	for _, row := range r.Rows {
+		t.add(row.App, row.Model, row.Structure,
+			row.TrainTime.String(), row.InferTime.String(), f3(row.R2), pct(row.RMSEoQoS))
+	}
+	return "Table IV — prediction model comparison (train/infer overhead vs accuracy)\n" + t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8 — the shape of the Xapian fit: LR line vs NN curves.
+
+// Fig8Point samples each model's prediction at one doc count.
+type Fig8Point struct {
+	DocCount float64
+	Truth    float64
+	LR       float64
+	NNG      float64
+	NNT      float64
+}
+
+// Fig8Result reproduces Fig 8.
+type Fig8Result struct {
+	Points []Fig8Point
+	// NNGRoughness and NNTRoughness quantify the zigzag the paper shows
+	// for NN-G: total absolute second difference of the fit curve. A
+	// higher value means a wigglier (overfit) curve.
+	NNGRoughness float64
+	NNTRoughness float64
+	LRRoughness  float64
+}
+
+// Fig8 fits the three models on Xapian and samples their prediction
+// curves over the document-count range.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	app := workload.ByName("xapian")
+	grid := cfg.Platform.Grid
+	cal, err := core.Calibrate(app, cfg.Platform, cfg.SamplesPerLevel, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	inputs := cal.Selection.Selected
+	gcfg := nn.GeminiConfig(len(inputs))
+	if cfg.GeminiNN != nil {
+		gcfg = *cfg.GeminiNN
+		gcfg.InputDim = len(inputs)
+	}
+	nng, err := predict.FitNN(cal.Training, grid, gcfg, grid.MaxLevel(), inputs)
+	if err != nil {
+		return nil, err
+	}
+	shape := tunedShapes["xapian"]
+	nnt, err := predict.FitNN(cal.Training, grid,
+		nn.TunedConfig(len(inputs), shape[0], shape[1], shape[2], shape[3]), grid.MaxLevel(), inputs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{}
+	docIdx := workload.FeatureIndex(app, "doc_count")
+	feats := make([]float64, len(app.FeatureSpecs()))
+	var lr, g, tu []float64
+	for d := 0.0; d <= 600; d += 10 {
+		feats[docIdx] = d
+		p := Fig8Point{
+			DocCount: d,
+			Truth:    workload.XapianServiceMs(d) * 1e-3,
+			LR:       cal.Model.Predict(grid.MaxLevel(), feats),
+			NNG:      nng.Predict(grid.MaxLevel(), feats),
+			NNT:      nnt.Predict(grid.MaxLevel(), feats),
+		}
+		res.Points = append(res.Points, p)
+		lr = append(lr, p.LR)
+		g = append(g, p.NNG)
+		tu = append(tu, p.NNT)
+	}
+	res.LRRoughness = roughness(lr)
+	res.NNGRoughness = roughness(g)
+	res.NNTRoughness = roughness(tu)
+	return res, nil
+}
+
+// roughness sums |second difference| over a curve.
+func roughness(ys []float64) float64 {
+	s := 0.0
+	for i := 2; i < len(ys); i++ {
+		d := ys[i] - 2*ys[i-1] + ys[i-2]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// Render prints a down-sampled view of the fit curves.
+func (r *Fig8Result) Render() string {
+	t := &table{header: []string{"doc count", "truth", "LR", "NN-G", "NN-T"}}
+	for i, p := range r.Points {
+		if i%6 != 0 {
+			continue
+		}
+		t.add(fmt.Sprintf("%.0f", p.DocCount), dur(p.Truth), dur(p.LR), dur(p.NNG), dur(p.NNT))
+	}
+	return fmt.Sprintf("Fig 8 — Xapian fit curves (roughness: LR=%.3g, NN-G=%.3g, NN-T=%.3g)\n%s",
+		r.LRRoughness, r.NNGRoughness, r.NNTRoughness, t.String())
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9 — training-set size sensitivity: R² vs N.
+
+// Fig9Point is (N, R²) for one app.
+type Fig9Point struct {
+	N  int
+	R2 float64
+}
+
+// Fig9App is one application's convergence curve.
+type Fig9App struct {
+	App    string
+	Points []Fig9Point
+}
+
+// Fig9Result reproduces Fig 9.
+type Fig9Result struct {
+	Apps []Fig9App
+}
+
+// Fig9 fits the LR model with growing training sets and reports held-out
+// R², showing convergence by N ≈ 1000 (and usually far earlier).
+func Fig9(cfg Config) (*Fig9Result, error) {
+	grid := cfg.Platform.Grid
+	sizes := []int{25, 50, 100, 200, 400, 1000}
+	res := &Fig9Result{}
+	for _, app := range workload.All() {
+		cal, err := core.Calibrate(app, cfg.Platform, 64, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		layout := cal.Layout
+		// Held-out evaluation set at two levels.
+		rng := rand.New(rand.NewSource(cfg.Seed + 7))
+		var test []predict.Sample
+		for i := 0; i < 500; i++ {
+			r := app.Generate(rng)
+			for _, lvl := range []cpu.Level{0, grid.MaxLevel()} {
+				test = append(test, predict.Sample{
+					Level: lvl, Features: r.Features,
+					Service: float64(r.ServiceAt(grid.Freq(lvl), grid.MaxFreq(), 1)),
+				})
+			}
+		}
+		fa := Fig9App{App: app.Name()}
+		for _, n := range sizes {
+			set := predict.NewTrainingSet(n)
+			trng := rand.New(rand.NewSource(cfg.Seed + 13))
+			for lvl := cpu.Level(0); int(lvl) < grid.Levels(); lvl++ {
+				for i := 0; i < n; i++ {
+					r := app.Generate(trng)
+					set.Add(predict.Sample{
+						Level: lvl, Features: r.Features,
+						Service: float64(r.ServiceAt(grid.Freq(lvl), grid.MaxFreq(), 1)),
+					})
+				}
+			}
+			m, err := predict.FitLinear(set, layout, grid.Levels())
+			if err != nil {
+				return nil, err
+			}
+			met, err := predict.Evaluate(m, test)
+			if err != nil {
+				return nil, err
+			}
+			fa.Points = append(fa.Points, Fig9Point{N: n, R2: met.R2})
+		}
+		res.Apps = append(res.Apps, fa)
+	}
+	return res, nil
+}
+
+// Render prints R² convergence per app.
+func (r *Fig9Result) Render() string {
+	header := []string{"app"}
+	if len(r.Apps) > 0 {
+		for _, p := range r.Apps[0].Points {
+			header = append(header, fmt.Sprintf("N=%d", p.N))
+		}
+	}
+	t := &table{header: header}
+	for _, a := range r.Apps {
+		row := []string{a.App}
+		for _, p := range a.Points {
+			row = append(row, f3(p.R2))
+		}
+		t.add(row...)
+	}
+	return "Fig 9 — held-out R² vs training-set size per frequency level\n" + t.String()
+}

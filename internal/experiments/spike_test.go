@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadSpikeUnknownApp(t *testing.T) {
+	if _, err := LoadSpike(quickCfg(), "nope"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+// §VI-C's emergency claim: under a sudden overload, the 100 ms monitor
+// drives QoS′ from 100% to near 0% of QoS within 2 s, running everything
+// at max frequency until the load recovers — after which the tail is back
+// under QoS.
+func TestLoadSpikeCollapseWithinTwoSeconds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spike timeline is slow")
+	}
+	res, err := LoadSpike(quickCfg(), "xapian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CollapseSeconds < 0 {
+		t.Fatal("QoS′ never collapsed under a 3× overload")
+	}
+	if res.CollapseSeconds > 2.0 {
+		t.Errorf("QoS′ collapse took %.1fs, paper claims ≤ 2s", res.CollapseSeconds)
+	}
+	if !res.PostSpikeTailOK {
+		t.Error("tail did not return under QoS after the spike")
+	}
+	// QoS′ recovered off the floor once the spike passed.
+	if float64(res.RecoveredQoSPrime) <= 0.10*8e-3 {
+		t.Errorf("QoS′ stuck at the floor after recovery: %v", res.RecoveredQoSPrime)
+	}
+	if !strings.Contains(res.Render(), "Load spike") {
+		t.Fatal("render")
+	}
+}

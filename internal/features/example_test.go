@@ -1,0 +1,38 @@
+package features_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"retail/internal/features"
+	"retail/internal/workload"
+)
+
+// ExampleSelect walks the paper's three selection steps on the
+// Xapian-like workload: the too-late feature is rejected by lateness, the
+// decoy by lack of correlation, and the matched-document count survives.
+func ExampleSelect() {
+	app := workload.NewXapian()
+	rng := rand.New(rand.NewSource(1))
+	d := features.Dataset{Specs: app.FeatureSpecs()}
+	for i := 0; i < 1000; i++ {
+		r := app.Generate(rng)
+		d.X = append(d.X, r.Features)
+		d.Service = append(d.Service, float64(r.ServiceBase))
+	}
+	res, err := features.Select(d, features.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, j := range res.Selected {
+		fmt.Println("selected:", d.Specs[j].Name)
+	}
+	for _, rej := range res.Rejected {
+		fmt.Printf("rejected: %s (%s)\n", d.Specs[rej.Index].Name, rej.Reason)
+	}
+	// Output:
+	// selected: doc_count
+	// rejected: sorted_bytes (lateness above threshold)
+	// rejected: query_chars (no correlation-degree gain)
+}

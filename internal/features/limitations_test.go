@@ -1,0 +1,113 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"retail/internal/workload"
+)
+
+// The paper's §IV-C closes with two admitted limitations. These tests pin
+// the current behavior down so the limitations stay documented rather
+// than silently shifting.
+
+// Limitation 1: "It is possible that applications do not have features
+// that correlate with request service time" — selection must then return
+// an empty set (constant-model fallback), not a spurious feature.
+func TestLimitationNoCorrelatingFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	specs := []workload.FeatureSpec{
+		{Name: "noise_a", Kind: workload.Numerical},
+		{Name: "noise_b", Kind: workload.Categorical, Categories: 3},
+	}
+	d := Dataset{Specs: specs}
+	for i := 0; i < 1000; i++ {
+		d.X = append(d.X, []float64{rng.Float64() * 100, float64(rng.Intn(3))})
+		// Service time driven by something unobserved.
+		d.Service = append(d.Service, 1e-3+rng.Float64()*9e-3)
+	}
+	res, err := Select(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 0 {
+		t.Fatalf("selected %v despite zero signal", res.Selected)
+	}
+}
+
+// Limitation 2: "there might be complex feature interactions, such as XOR
+// relationship, [which] ReTail currently does not consider." Two binary
+// features whose XOR determines service time: each feature alone has
+// η² ≈ 0, so the pipeline (correctly, per its design) selects nothing —
+// the documented blind spot.
+func TestLimitationXORInteractionMissed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	specs := []workload.FeatureSpec{
+		{Name: "a", Kind: workload.Categorical, Categories: 2},
+		{Name: "b", Kind: workload.Categorical, Categories: 2},
+	}
+	d := Dataset{Specs: specs}
+	for i := 0; i < 2000; i++ {
+		a, b := rng.Intn(2), rng.Intn(2)
+		svc := 1e-3
+		if a^b == 1 {
+			svc = 10e-3
+		}
+		d.X = append(d.X, []float64{float64(a), float64(b)})
+		d.Service = append(d.Service, svc*(1+rng.NormFloat64()*0.02))
+	}
+	res, err := Select(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Individually, both features score near zero…
+	for j, cd := range res.IndividualCD {
+		if cd > 0.1 {
+			t.Fatalf("feature %d individual CD = %v; XOR should hide the signal", j, cd)
+		}
+	}
+	// …so nothing is selected, even though a joint model would be perfect.
+	if len(res.Selected) != 0 {
+		t.Fatalf("selected %v — the XOR limitation no longer holds; update §IV-C docs", res.Selected)
+	}
+	// Demonstrate that the signal exists: the combined CD over BOTH
+	// features (the paper's proposed "pairs/groups" extension) is high.
+	if cd := CombinedCD(d, []int{0, 1}); cd < 0.95 {
+		t.Fatalf("joint CD = %v; the interaction should be jointly learnable", cd)
+	}
+	// And the opt-in TryPairs extension recovers it.
+	opt := DefaultOptions()
+	opt.TryPairs = true
+	res, err = Select(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 2 {
+		t.Fatalf("TryPairs selected %v, want the XOR pair", res.Selected)
+	}
+	if res.CombinedCD < 0.95 {
+		t.Fatalf("TryPairs combined CD = %v", res.CombinedCD)
+	}
+}
+
+// TryPairs must not change behavior when a single feature suffices, and
+// must still return nothing on pure noise.
+func TestTryPairsConservative(t *testing.T) {
+	opt := DefaultOptions()
+	opt.TryPairs = true
+	res, err := Select(genDataset(workload.NewMoses(), 1000, 3), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 1 {
+		t.Fatalf("TryPairs changed a single-feature app's selection: %v", res.Selected)
+	}
+	rngNoise := genDataset(workload.NewMasstree(), 1000, 4)
+	res, err = Select(rngNoise, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 0 {
+		t.Fatalf("TryPairs invented features from noise: %v", res.Selected)
+	}
+}

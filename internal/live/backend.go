@@ -1,0 +1,122 @@
+// Package live runs ReTail's runtime against wall-clock time instead of
+// the simulator: a TCP request server with per-worker FCFS queues, the
+// Algorithm 1 frequency predictor, the QoS′ latency monitor, and a
+// pluggable DVFS backend. On a Linux host with the ACPI userspace
+// governor, SysfsBackend writes the same scaling_setspeed files the paper
+// uses; elsewhere (containers, CI, macOS) MockBackend records the
+// decisions and the demo executor scales its synthetic work accordingly
+// ("hardware-in-the-loop mock").
+//
+// This package is the adoption path: it shows how the calibrated
+// predictor and the decision logic transfer unchanged from the simulator
+// to a real service process.
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"retail/internal/cpu"
+)
+
+// Backend applies a frequency decision to a physical (or mocked) core.
+type Backend interface {
+	// SetLevel requests the frequency level for the given core index.
+	SetLevel(core int, lvl cpu.Level) error
+	// Grid reports the frequency grid the backend exposes.
+	Grid() *cpu.Grid
+}
+
+// MockBackend records decisions; the demo executor consults it to scale
+// synthetic work. Safe for concurrent use.
+type MockBackend struct {
+	grid *cpu.Grid
+
+	mu     sync.Mutex
+	levels map[int]cpu.Level
+	writes int
+}
+
+// NewMockBackend returns a mock over the given grid with every core at
+// max frequency.
+func NewMockBackend(grid *cpu.Grid) *MockBackend {
+	return &MockBackend{grid: grid, levels: map[int]cpu.Level{}}
+}
+
+// Grid implements Backend.
+func (b *MockBackend) Grid() *cpu.Grid { return b.grid }
+
+// SetLevel implements Backend.
+func (b *MockBackend) SetLevel(core int, lvl cpu.Level) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.levels[core] = b.grid.Clamp(lvl)
+	b.writes++
+	return nil
+}
+
+// Level returns the core's current level (max frequency if never set).
+func (b *MockBackend) Level(core int) cpu.Level {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if lvl, ok := b.levels[core]; ok {
+		return lvl
+	}
+	return b.grid.MaxLevel()
+}
+
+// Writes returns how many SetLevel calls were applied.
+func (b *MockBackend) Writes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.writes
+}
+
+// SysfsBackend drives the Linux cpufreq userspace governor: it writes
+// kHz values to <root>/cpu<N>/cpufreq/scaling_setspeed, where root is
+// normally /sys/devices/system/cpu. The paper uses exactly this interface
+// (ACPI driver, "userspace" governor, §VII-A). Construction verifies the
+// files are writable so misconfiguration fails fast.
+type SysfsBackend struct {
+	grid  *cpu.Grid
+	root  string
+	cores []int
+}
+
+// NewSysfsBackend validates that every listed core's scaling_setspeed
+// file exists and is writable under root.
+func NewSysfsBackend(grid *cpu.Grid, root string, cores []int) (*SysfsBackend, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("live: no cores given")
+	}
+	b := &SysfsBackend{grid: grid, root: root, cores: cores}
+	for _, c := range cores {
+		p := b.path(c)
+		f, err := os.OpenFile(p, os.O_WRONLY, 0)
+		if err != nil {
+			return nil, fmt.Errorf("live: cpufreq not writable: %w", err)
+		}
+		f.Close()
+	}
+	return b, nil
+}
+
+func (b *SysfsBackend) path(core int) string {
+	return filepath.Join(b.root, fmt.Sprintf("cpu%d", core), "cpufreq", "scaling_setspeed")
+}
+
+// Grid implements Backend.
+func (b *SysfsBackend) Grid() *cpu.Grid { return b.grid }
+
+// SetLevel implements Backend: writes the frequency in kHz, as cpufreq
+// expects.
+func (b *SysfsBackend) SetLevel(core int, lvl cpu.Level) error {
+	if core < 0 || core >= len(b.cores) {
+		return fmt.Errorf("live: core index %d out of range", core)
+	}
+	khz := int(b.grid.Freq(b.grid.Clamp(lvl)) * 1e6)
+	return os.WriteFile(b.path(b.cores[core]), []byte(strconv.Itoa(khz)), 0o644)
+}

@@ -1,0 +1,149 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"retail/internal/cpu"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+// DemoExecutor builds an Executor that simulates request work by sleeping
+// for the request's modeled service time at the backend's mocked
+// frequency. On real hardware with SysfsBackend, the application's own
+// work replaces this and the frequency change is physical.
+func DemoExecutor(app workload.App, backend *MockBackend, timeScale float64) Executor {
+	grid := backend.Grid()
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	_ = backend // the decided level arrives as an argument
+	return func(r Request, lvl cpu.Level) {
+		// Rebuild the service model from the request features via a
+		// surrogate request; the demo keeps the feature→latency mapping of
+		// the synthetic workload.
+		sr := &workload.Request{
+			Features:    r.Features,
+			ServiceBase: demoBase(app, r.Features),
+			ComputeFrac: 0.8,
+		}
+		d := sr.ServiceAt(grid.Freq(grid.Clamp(lvl)), grid.MaxFreq(), 1)
+		time.Sleep(time.Duration(float64(d) * 1e9 * timeScale))
+	}
+}
+
+// demoBase derives an intrinsic service time from features with the
+// workload's published ground-truth model where available.
+func demoBase(app workload.App, features []float64) sim.Duration {
+	switch app.Name() {
+	case "xapian":
+		idx := workload.FeatureIndex(app, "doc_count")
+		return sim.Duration(workload.XapianServiceMs(features[idx]) * 1e-3)
+	case "moses":
+		idx := workload.FeatureIndex(app, "word_count")
+		return sim.Duration((1.8 + 0.58*features[idx]) * 1e-3)
+	default:
+		return sim.Duration(1e-3)
+	}
+}
+
+// ClientConfig drives an open-loop load test against a live server.
+type ClientConfig struct {
+	Addr     string
+	App      workload.App
+	RPS      float64
+	Duration time.Duration
+	Conns    int
+	Seed     int64
+	// TimeScale must match the executor's so client-side pacing aligns.
+	TimeScale float64
+}
+
+// ClientResult aggregates client-observed latencies.
+type ClientResult struct {
+	Sent, Completed int
+	P50, P95, P99   time.Duration
+	Mean            time.Duration
+}
+
+// RunClient sends Poisson-spaced requests over a small connection pool and
+// measures sojourn times client-side (t3 − t1, §V-C).
+func RunClient(cfg ClientConfig) (*ClientResult, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	type job struct{ req Request }
+	jobs := make(chan job, 1024)
+	var mu sync.Mutex
+	var lats []float64
+	completed := 0
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Conns; c++ {
+		conn, err := net.Dial("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("live: dial: %w", err)
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			enc := json.NewEncoder(conn)
+			dec := json.NewDecoder(conn)
+			for j := range jobs {
+				j.req.GenNs = time.Now().UnixNano()
+				if err := enc.Encode(j.req); err != nil {
+					return
+				}
+				var resp Response
+				if err := dec.Decode(&resp); err != nil {
+					return
+				}
+				lat := float64(resp.EndNs-j.req.GenNs) / 1e9
+				mu.Lock()
+				lats = append(lats, lat)
+				completed++
+				mu.Unlock()
+			}
+		}(conn)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	deadline := time.Now().Add(cfg.Duration)
+	sent := 0
+	var id uint64
+	for time.Now().Before(deadline) {
+		gap := time.Duration(rng.ExpFloat64() / cfg.RPS * float64(time.Second))
+		time.Sleep(gap)
+		r := cfg.App.Generate(rng)
+		id++
+		jobs <- job{req: Request{ID: id, Features: r.Features}}
+		sent++
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &ClientResult{Sent: sent, Completed: completed}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		pick := func(p float64) time.Duration {
+			return time.Duration(lats[int(p/100*float64(len(lats)-1))] * 1e9)
+		}
+		res.P50, res.P95, res.P99 = pick(50), pick(95), pick(99)
+		sum := 0.0
+		for _, l := range lats {
+			sum += l
+		}
+		res.Mean = time.Duration(sum / float64(len(lats)) * 1e9)
+	}
+	return res, nil
+}

@@ -1,0 +1,351 @@
+package live
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"retail/internal/cpu"
+	"retail/internal/predict"
+	"retail/internal/workload"
+)
+
+// Request is the wire format: the client's generation timestamp (t1 in
+// the paper's training-dataset terms) travels in the packet, and feature
+// values are labeled positionally against the server's feature specs.
+type Request struct {
+	ID       uint64    `json:"id"`
+	GenNs    int64     `json:"gen_ns"`
+	Features []float64 `json:"features"`
+}
+
+// Response returns the server-side timestamps so the client can compute
+// sojourn and service time.
+type Response struct {
+	ID      uint64 `json:"id"`
+	RecvNs  int64  `json:"recv_ns"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	Level   int    `json:"level"`
+}
+
+// Executor performs the actual request work at the backend's current
+// frequency level and returns when done. The demo executor sleeps for the
+// request's modeled service time scaled to the mocked frequency; a real
+// integration would call into the application here.
+type Executor func(r Request, lvl cpu.Level)
+
+// ServerConfig wires the live runtime.
+type ServerConfig struct {
+	Addr      string // listen address, e.g. "127.0.0.1:0"
+	Workers   int
+	QoS       workload.QoS
+	Predictor predict.Predictor
+	Backend   Backend
+	Exec      Executor
+	// MonitorInterval for the QoS′ loop (0 = 100ms).
+	MonitorInterval time.Duration
+}
+
+type queuedReq struct {
+	req  Request
+	recv time.Time
+	done chan Response
+}
+
+// Server is the wall-clock ReTail runtime: one goroutine per worker core
+// draining a FCFS queue, a frequency decision per schedule via Algorithm
+// 1, and a latency monitor adjusting QoS′.
+type Server struct {
+	cfg  ServerConfig
+	ln   net.Listener
+	grid *cpu.Grid
+
+	mu       sync.Mutex
+	queues   [][]*queuedReq
+	qosPrime time.Duration
+	window   []float64 // recent sojourn seconds
+	closed   bool
+	conns    map[net.Conn]struct{}
+
+	wake []chan struct{}
+	wg   sync.WaitGroup
+	stop chan struct{}
+
+	decisions uint64
+}
+
+// NewServer validates the configuration and binds the listener.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Workers <= 0 || cfg.Predictor == nil || cfg.Backend == nil || cfg.Exec == nil {
+		return nil, errors.New("live: config needs Workers, Predictor, Backend and Exec")
+	}
+	if cfg.MonitorInterval <= 0 {
+		cfg.MonitorInterval = 100 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		grid:     cfg.Backend.Grid(),
+		queues:   make([][]*queuedReq, cfg.Workers),
+		qosPrime: time.Duration(float64(cfg.QoS.Latency) * 1e9),
+		stop:     make(chan struct{}),
+		conns:    map[net.Conn]struct{}{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wake = append(s.wake, make(chan struct{}, 1))
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Start launches the worker, acceptor and monitor goroutines.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.monitor()
+}
+
+// Close shuts the server down and waits for goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	err := s.ln.Close()
+	// Unblock connection readers so their goroutines can drain.
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, w := range s.wake {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Decisions returns the number of Algorithm 1 invocations.
+func (s *Server) Decisions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decisions
+}
+
+// QoSPrime returns the current internal latency target.
+func (s *Server) QoSPrime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.qosPrime
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		done := make(chan Response, 1)
+		s.enqueue(req, done)
+		select {
+		case resp := <-done:
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// enqueue joins the shortest queue (the simulator's JSQ policy).
+func (s *Server) enqueue(req Request, done chan Response) {
+	q := &queuedReq{req: req, recv: time.Now(), done: done}
+	s.mu.Lock()
+	best, bestLen := 0, len(s.queues[0])
+	for i := 1; i < len(s.queues); i++ {
+		if len(s.queues[i]) < bestLen {
+			best, bestLen = i, len(s.queues[i])
+		}
+	}
+	s.queues[best] = append(s.queues[best], q)
+	s.mu.Unlock()
+	select {
+	case s.wake[best] <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Server) worker(id int) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var q *queuedReq
+		if len(s.queues[id]) > 0 {
+			q = s.queues[id][0]
+			s.queues[id] = s.queues[id][1:]
+		}
+		s.mu.Unlock()
+		if q == nil {
+			select {
+			case <-s.wake[id]:
+				continue
+			case <-s.stop:
+				return
+			}
+		}
+		lvl := s.decide(id, q)
+		if err := s.cfg.Backend.SetLevel(id, lvl); err == nil {
+			// Frequency applied; nothing else to do — the executor runs
+			// the request at whatever the hardware now provides.
+			_ = err
+		}
+		start := time.Now()
+		s.cfg.Exec(q.req, lvl)
+		end := time.Now()
+		sojourn := end.Sub(time.Unix(0, q.req.GenNs))
+		s.mu.Lock()
+		s.window = append(s.window, sojourn.Seconds())
+		if len(s.window) > 4096 {
+			s.window = s.window[len(s.window)-4096:]
+		}
+		s.mu.Unlock()
+		q.done <- Response{
+			ID:      q.req.ID,
+			RecvNs:  q.recv.UnixNano(),
+			StartNs: start.UnixNano(),
+			EndNs:   end.UnixNano(),
+			Level:   int(lvl),
+		}
+	}
+}
+
+// decide is Algorithm 1 over the worker's current queue snapshot.
+func (s *Server) decide(id int, head *queuedReq) cpu.Level {
+	now := time.Now()
+	s.mu.Lock()
+	queue := make([]*queuedReq, len(s.queues[id]))
+	copy(queue, s.queues[id])
+	budget := s.qosPrime.Seconds()
+	s.decisions++
+	s.mu.Unlock()
+
+	maxLvl := s.grid.MaxLevel()
+	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
+		svc := s.cfg.Predictor.Predict(lvl, head.req.Features)
+		wait := now.Sub(time.Unix(0, head.req.GenNs)).Seconds()
+		if wait+svc > budget {
+			continue
+		}
+		sum := svc
+		ok := true
+		for _, r := range queue {
+			rs := s.cfg.Predictor.Predict(lvl, r.req.Features)
+			rwait := now.Sub(time.Unix(0, r.req.GenNs)).Seconds()
+			if rwait+sum+rs > budget {
+				ok = false
+				break
+			}
+			sum += rs
+		}
+		if ok {
+			return lvl
+		}
+	}
+	return maxLvl
+}
+
+// monitor is the QoS′ loop: compare the recent tail with the target.
+func (s *Server) monitor() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.MonitorInterval)
+	defer ticker.Stop()
+	target := float64(s.cfg.QoS.Latency)
+	step := time.Duration(0.05 * target * 1e9)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		if len(s.window) >= 20 {
+			tail := percentile(s.window, s.cfg.QoS.Percentile)
+			switch {
+			case tail > 0.95*target:
+				s.qosPrime -= step
+			case tail < 0.9*target:
+				s.qosPrime += step / 2
+			}
+			lo := time.Duration(0.02 * target * 1e9)
+			hi := time.Duration(1.1 * target * 1e9)
+			if s.qosPrime < lo {
+				s.qosPrime = lo
+			}
+			if s.qosPrime > hi {
+				s.qosPrime = hi
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func percentile(xs []float64, p float64) float64 {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	idx := int(p / 100 * float64(len(cp)-1))
+	return cp[idx]
+}

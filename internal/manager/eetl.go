@@ -1,0 +1,86 @@
+package manager
+
+import (
+	"sort"
+
+	"retail/internal/cpu"
+	"retail/internal/server"
+	"retail/internal/sim"
+	"retail/internal/stats"
+	"retail/internal/workload"
+)
+
+// EETL is the progress-based classification baseline from the paper's
+// related work (§II): every request starts at a low frequency; a request
+// that is still running when it crosses a predetermined execution-time
+// threshold is flagged as "long" and boosted. The paper's criticism —
+// reproduced here — is that by the time a request reaches the threshold
+// it may be too late to prevent tail-latency degradation, because the
+// time already spent at low frequency cannot be recovered.
+type EETL struct {
+	server.NoopHooks
+	qos  workload.QoS
+	grid *cpu.Grid
+
+	// Threshold flags a request as long once its execution time exceeds
+	// it (derived from the profile quantile at construction).
+	Threshold sim.Duration
+	// SlowLevel is the initial frequency for every request.
+	SlowLevel cpu.Level
+	// BoostLevel is applied at the threshold crossing.
+	BoostLevel cpu.Level
+
+	boosts int
+}
+
+// NewEETL derives the threshold from an offline service-time profile at
+// max frequency: requests beyond the given quantile of the distribution
+// are the "long" class (the paper's EETL uses a predetermined progress
+// threshold; the quantile form is the natural way to set it).
+func NewEETL(qos workload.QoS, grid *cpu.Grid, profileAtMax []float64, quantile float64) *EETL {
+	m := &EETL{
+		qos:        qos,
+		grid:       grid,
+		SlowLevel:  grid.MaxLevel() / 2,
+		BoostLevel: grid.MaxLevel(),
+	}
+	if quantile <= 0 || quantile >= 1 {
+		quantile = 0.75
+	}
+	if len(profileAtMax) > 0 {
+		p := make([]float64, len(profileAtMax))
+		copy(p, profileAtMax)
+		sort.Float64s(p)
+		// The threshold is the quantile service time scaled to the slow
+		// level, since that is the speed requests actually execute at.
+		base := stats.PercentileSorted(p, quantile*100)
+		m.Threshold = sim.Duration(base * grid.MaxFreq() / grid.Freq(m.SlowLevel))
+	}
+	return m
+}
+
+func (m *EETL) Name() string { return "eetl" }
+
+// Boosts returns how many threshold crossings fired.
+func (m *EETL) Boosts() int { return m.boosts }
+
+// Attach implements Manager.
+func (m *EETL) Attach(e *sim.Engine, s *server.Server) {
+	m.grid = s.Socket.Cores[0].Grid()
+	s.Hooks = m
+}
+
+// Start implements server.Hooks: run slow, arm the threshold timer.
+func (m *EETL) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
+	w.Core().SetLevel(e, m.SlowLevel)
+	if m.Threshold <= 0 {
+		return
+	}
+	req := r
+	e.After(m.Threshold, "eetl.threshold", func(en *sim.Engine) {
+		if w.Current() == req {
+			m.boosts++
+			w.Core().SetLevel(en, m.BoostLevel)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package manager
+
+import (
+	"retail/internal/cpu"
+	"retail/internal/predict"
+	"retail/internal/server"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+// GeminiConfig parameterizes the Gemini baseline.
+type GeminiConfig struct {
+	// Model is the NN latency predictor (request-arrival features only;
+	// proportional frequency scaling).
+	Model *predict.NNModel
+	// InferenceCost is the on-critical-path NN inference time. The paper
+	// measures > 300 µs per request for Gemini's network (Table IV /
+	// §VII-B point 3) — large enough to hurt sub-millisecond services.
+	InferenceCost sim.Duration
+	// BoostFrac places the two-step DVFS checkpoint at this fraction of
+	// the predicted service time; at the checkpoint a still-running
+	// request is boosted to max frequency to absorb prediction error.
+	BoostFrac float64
+	// DropOnPredictedMiss enables Gemini's load shedding: requests whose
+	// predicted completion (even at max frequency) exceeds QoS are dropped
+	// at arrival.
+	DropOnPredictedMiss bool
+}
+
+// DefaultGeminiConfig matches the paper's characterization of Gemini.
+func DefaultGeminiConfig(model *predict.NNModel) GeminiConfig {
+	return GeminiConfig{
+		Model:               model,
+		InferenceCost:       300 * sim.Microsecond,
+		BoostFrac:           0.8,
+		DropOnPredictedMiss: true,
+	}
+}
+
+// Gemini is the NN-based fine-grained baseline (§II, §VII). The paper
+// identifies four behaviors that separate it from ReTail, all reproduced:
+//
+//  1. it drops requests predicted to miss the deadline (drop rate grows
+//     super-linearly with load, Fig 11b);
+//  2. its frequency choice assumes fully compute-bound requests — latency
+//     ∝ 1/frequency — overestimating the needed frequency for
+//     memory-bound services;
+//  3. two-step DVFS: requests start at a low predicted-sufficient
+//     frequency and are boosted near the deadline, paying the
+//     super-linear power cost twice;
+//  4. NN inference takes hundreds of µs, so the frequency decision lands
+//     only that long after a request starts — after a sub-millisecond
+//     request is mostly done — leaving such services mismanaged (QoS
+//     violations for Masstree and Silo, §VII-C); there is no latency
+//     monitor and QoS′ is pinned to QoS.
+type Gemini struct {
+	server.NoopHooks
+	cfg  GeminiConfig
+	qos  workload.QoS
+	grid *cpu.Grid
+	spec []workload.FeatureSpec
+
+	inferences uint64
+	boosts     int
+	dropped    int
+}
+
+// NewGemini builds the manager.
+func NewGemini(qos workload.QoS, specs []workload.FeatureSpec, cfg GeminiConfig) *Gemini {
+	if cfg.InferenceCost == 0 {
+		cfg.InferenceCost = 300 * sim.Microsecond
+	}
+	if cfg.BoostFrac == 0 {
+		cfg.BoostFrac = 0.8
+	}
+	return &Gemini{cfg: cfg, qos: qos, spec: specs}
+}
+
+func (m *Gemini) Name() string { return "gemini" }
+
+// Config returns the manager's configuration (the trained model is shared
+// and immutable, so experiment harnesses rebuild fresh managers from it).
+func (m *Gemini) Config() GeminiConfig { return m.cfg }
+
+// Inferences returns the NN inference count.
+func (m *Gemini) Inferences() uint64 { return m.inferences }
+
+// Boosts returns how many two-step boosts fired.
+func (m *Gemini) Boosts() int { return m.boosts }
+
+// Attach implements Manager.
+func (m *Gemini) Attach(e *sim.Engine, s *server.Server) {
+	m.grid = s.Socket.Cores[0].Grid()
+	s.Hooks = m
+}
+
+// predictAt runs the NN on request-arrival features only.
+func (m *Gemini) predictAt(lvl cpu.Level, r *workload.Request) float64 {
+	m.inferences++
+	feats := ObservableFeatures(m.spec, r, false, true)
+	return m.cfg.Model.Predict(lvl, feats)
+}
+
+// Arrival implements server.Hooks: the admission check. The inference
+// runs on Gemini's manager core, off the workers' critical path.
+func (m *Gemini) Arrival(e *sim.Engine, w *server.Worker, r *workload.Request) bool {
+	if !m.cfg.DropOnPredictedMiss {
+		return true
+	}
+	// Estimate queueing ahead of r: predicted service of everything
+	// queued plus the running request's budget, all at max frequency.
+	queueAhead := 0.0
+	for _, q := range w.Queue() {
+		queueAhead += m.predictAt(m.grid.MaxLevel(), q)
+	}
+	if cur := w.Current(); cur != nil {
+		rem := m.predictAt(m.grid.MaxLevel(), cur) * (1 - w.ProgressFraction(e.Now()))
+		if rem > 0 {
+			queueAhead += rem
+		}
+	}
+	predicted := float64(e.Now()-r.Gen) + queueAhead + m.predictAt(m.grid.MaxLevel(), r)
+	if predicted > float64(m.qos.Latency) {
+		m.dropped++
+		return false
+	}
+	return true
+}
+
+// Start implements server.Hooks: step one of two-step DVFS — pick the
+// lowest frequency whose (proportionally scaled) prediction fits the
+// remaining budget, and schedule the boost checkpoint. The decision only
+// lands after the NN inference latency, during which the request runs at
+// whatever frequency the core was left at — for sub-millisecond services
+// that is most of the request.
+func (m *Gemini) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
+	budget := float64(m.qos.Latency) - float64(e.Now()-r.Gen)
+	maxLvl := m.grid.MaxLevel()
+	chosen := maxLvl
+	for lvl := cpu.Level(0); lvl <= maxLvl; lvl++ {
+		if m.predictAt(lvl, r) <= budget {
+			chosen = lvl
+			break
+		}
+	}
+	predicted := m.predictAt(chosen, r)
+	e.After(m.cfg.InferenceCost, "gemini.setfreq", func(en *sim.Engine) {
+		if w.Current() != r {
+			return // already finished: the decision arrived too late
+		}
+		w.Core().SetLevel(en, chosen)
+		if chosen == maxLvl {
+			return
+		}
+		// Step two: at BoostFrac of the predicted service, boost to max if
+		// the request is still running (it almost always is, since the
+		// checkpoint lands before the predicted completion).
+		en.After(sim.Duration(m.cfg.BoostFrac*predicted), "gemini.boost", func(en2 *sim.Engine) {
+			if w.Current() == r {
+				m.boosts++
+				w.Core().SetLevel(en2, maxLvl)
+			}
+		})
+	})
+}

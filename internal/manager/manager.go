@@ -1,0 +1,53 @@
+// Package manager implements the power managers the paper evaluates:
+// ReTail itself (§VI) and the related work it compares against — Rubik,
+// Gemini, Adrenaline, a Pegasus-style coarse-grained controller, and the
+// max-frequency default. Every manager attaches to a server as its Hooks
+// implementation and manipulates per-core (or, for coarse managers,
+// socket-wide) frequency.
+package manager
+
+import (
+	"retail/internal/server"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+// Manager is a power-management policy bound to one application's server.
+type Manager interface {
+	server.Hooks
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Attach installs the manager on the server and starts any periodic
+	// work (latency monitors, controllers). Call once, before traffic.
+	Attach(e *sim.Engine, s *server.Server)
+}
+
+// ObservableFeatures returns the feature vector a manager may legitimately
+// use for a request right now: application features (lateness > 0) are
+// zeroed until stage 1 has extracted them. Managers that only ever use
+// request features (Gemini, Adrenaline) pass requestOnly=true to zero all
+// application features regardless of readiness.
+func ObservableFeatures(specs []workload.FeatureSpec, r *workload.Request, ready, requestOnly bool) []float64 {
+	out := make([]float64, len(r.Features))
+	copy(out, r.Features)
+	for j, s := range specs {
+		if s.Lateness > 0 && (requestOnly || !ready) {
+			out[j] = 0
+		}
+	}
+	return out
+}
+
+// readiness tracks which requests have completed stage-1 feature
+// extraction; managers consult it before trusting application features.
+type readiness struct {
+	ready map[uint64]bool
+}
+
+func newReadiness() *readiness { return &readiness{ready: map[uint64]bool{}} }
+
+func (rd *readiness) markReady(r *workload.Request) { rd.ready[r.ID] = true }
+func (rd *readiness) isReady(r *workload.Request) bool {
+	return rd.ready[r.ID]
+}
+func (rd *readiness) forget(r *workload.Request) { delete(rd.ready, r.ID) }

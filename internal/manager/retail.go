@@ -1,0 +1,487 @@
+package manager
+
+import (
+	"retail/internal/cpu"
+	"retail/internal/predict"
+	"retail/internal/server"
+	"retail/internal/sim"
+	"retail/internal/stats"
+	"retail/internal/workload"
+)
+
+// ReTailConfig parameterizes the ReTail runtime.
+type ReTailConfig struct {
+	// Layout is the feature-selection result driving the predictor.
+	Layout predict.FeatureLayout
+	// Model is the initial predictor from online calibration. Usually a
+	// *predict.LinearModel; the decomposition study (Fig 12) swaps in an
+	// NN predictor to isolate the prediction mechanism's contribution.
+	Model predict.Predictor
+	// Training is the live sample store feeding retraining; it should be
+	// the same set the calibration filled. Nil disables online retraining
+	// (retraining always refits the linear model class).
+	Training *predict.TrainingSet
+
+	// InferenceCost is the virtual time per LatencyPredictor call (paper:
+	// 5 µs). The ReTail runtime lives on a dedicated core, so this cost
+	// delays only when the new frequency takes effect — never the request.
+	InferenceCost sim.Duration
+	// MonitorInterval is the latency monitor period (paper: 100 ms).
+	MonitorInterval sim.Duration
+	// StepFrac is the QoS′ adjustment step as a fraction of QoS (paper: 5%).
+	StepFrac float64
+	// RelaxBelow is the fraction of target tail under which QoS′ is
+	// relaxed upward (paper: 0.9).
+	RelaxBelow float64
+	// DriftThreshold is the RMSE/QoS increase that triggers retraining
+	// (paper: 0.05); DriftWindow is the live-error window size.
+	DriftThreshold float64
+	DriftWindow    int
+	// RetrainLatency is the virtual time from drift detection until the
+	// new model is live (paper measures < 0.1 s; the old model serves
+	// predictions meanwhile).
+	RetrainLatency sim.Duration
+	// Stage1Frac, when non-nil, gives the per-request feature-extraction
+	// split point — the max lateness among the selected features *this
+	// request's category actually needs*. Nil falls back to the global
+	// maximum lateness of the selected features.
+	Stage1Frac func(*workload.Request) float64
+	// QoSPrimeCap bounds QoS′ relative to QoS. The default 1.0 never lets
+	// the internal target exceed QoS: although the constraint is on a
+	// percentile (1% may violate), at light load — with no queueing to
+	// spread sojourns — every slowed request rides QoS′, so a cap above
+	// 1.0 programs tail violations.
+	QoSPrimeCap float64
+
+	// Ablation switches (all false in the paper's design; the ablation
+	// experiments flip them one at a time to quantify each component).
+	//
+	// DisableMonitor pins QoS′ = QoS permanently (Gemini's policy).
+	DisableMonitor bool
+	// HeadOnly makes Algorithm 1 examine only the request being scheduled,
+	// ignoring the queued requests whose queueing delay it creates.
+	HeadOnly bool
+}
+
+// DefaultReTailConfig fills the paper's constants, leaving the model and
+// layout for the calibration pipeline to provide.
+func DefaultReTailConfig() ReTailConfig {
+	return ReTailConfig{
+		InferenceCost:   5 * sim.Microsecond,
+		MonitorInterval: 100 * sim.Millisecond,
+		StepFrac:        0.05,
+		RelaxBelow:      0.9,
+		DriftThreshold:  0.05,
+		DriftWindow:     200,
+		RetrainLatency:  50 * sim.Millisecond,
+		QoSPrimeCap:     1.0,
+	}
+}
+
+// ReTail is the paper's power manager: per-request frequency prediction
+// via Algorithm 1 on top of the linear latency predictor, an adaptive
+// internal latency target QoS′, and drift-triggered online retraining.
+type ReTail struct {
+	server.NoopHooks
+	cfg  ReTailConfig
+	srv  *server.Server
+	qos  workload.QoS
+	rd   *readiness
+	grid *cpu.Grid
+
+	model    predict.Predictor
+	drift    *predict.DriftDetector
+	qosPrime sim.Duration
+
+	// Monitor window: sojourn samples from the recent past, pruned by
+	// age so the tail estimate is meaningful at any request rate.
+	winAt  []sim.Time
+	winVal []float64
+	// MonitorWindowSpan is how much history the tail estimate covers.
+	monitorSpan sim.Duration
+	// smoothedTail is an EWMA of the measured tail; the raw percentile of
+	// a short window is too noisy to steer QoS′ without oscillation.
+	smoothedTail float64
+	// nextAdjustAt rate-limits QoS′ moves to the service's measured
+	// response time: adjusting again before completed requests reflect the
+	// previous move steers on stale data and produces limit cycles on
+	// services with multi-second sojourns (Sphinx).
+	nextAdjustAt sim.Time
+
+	retraining bool
+
+	// Telemetry.
+	inferences    uint64
+	retrains      int
+	decisions     int
+	qosPrimeTrace []TracePoint
+	rmseTrace     []TracePoint
+	collectTraces bool
+}
+
+// TracePoint is a timestamped scalar for the timeline figures.
+type TracePoint struct {
+	At    sim.Time
+	Value float64
+}
+
+// NewReTail builds the manager for the given application QoS.
+func NewReTail(qos workload.QoS, cfg ReTailConfig) *ReTail {
+	if cfg.InferenceCost == 0 {
+		cfg.InferenceCost = 5 * sim.Microsecond
+	}
+	if cfg.MonitorInterval == 0 {
+		cfg.MonitorInterval = 100 * sim.Millisecond
+	}
+	if cfg.StepFrac == 0 {
+		cfg.StepFrac = 0.05
+	}
+	if cfg.RelaxBelow == 0 {
+		cfg.RelaxBelow = 0.9
+	}
+	if cfg.QoSPrimeCap == 0 {
+		cfg.QoSPrimeCap = 1.0
+	}
+	if cfg.RetrainLatency == 0 {
+		cfg.RetrainLatency = 50 * sim.Millisecond
+	}
+	m := &ReTail{
+		cfg:         cfg,
+		qos:         qos,
+		rd:          newReadiness(),
+		model:       cfg.Model,
+		qosPrime:    qos.Latency,
+		monitorSpan: 500 * sim.Millisecond,
+	}
+	m.drift = predict.NewDriftDetector(float64(qos.Latency), cfg.DriftThreshold, cfg.DriftWindow)
+	return m
+}
+
+func (m *ReTail) Name() string { return "retail" }
+
+// EnableTraces turns on QoS′ and RMSE/QoS timeline recording (Fig 14).
+func (m *ReTail) EnableTraces() { m.collectTraces = true }
+
+// Traces returns the recorded QoS′ and RMSE/QoS timelines.
+func (m *ReTail) Traces() (qosPrime, rmse []TracePoint) {
+	return m.qosPrimeTrace, m.rmseTrace
+}
+
+// Inferences returns the total LatencyPredictor invocations (overhead
+// accounting, §VII-F).
+func (m *ReTail) Inferences() uint64 { return m.inferences }
+
+// Decisions returns how many frequency decisions were computed.
+func (m *ReTail) Decisions() int { return m.decisions }
+
+// Retrains returns how many drift-triggered retrainings completed.
+func (m *ReTail) Retrains() int { return m.retrains }
+
+// QoSPrime returns the current internal latency target.
+func (m *ReTail) QoSPrime() sim.Duration { return m.qosPrime }
+
+// Attach implements Manager.
+func (m *ReTail) Attach(e *sim.Engine, s *server.Server) {
+	m.srv = s
+	m.grid = s.Socket.Cores[0].Grid()
+	s.Hooks = m
+	// The feature-extraction split point comes from the selected features'
+	// lateness.
+	if m.cfg.Stage1Frac != nil {
+		s.SetStage1Frac(m.cfg.Stage1Frac)
+	} else {
+		maxLate := 0.0
+		for _, j := range m.cfg.Layout.Selected {
+			if l := m.cfg.Layout.Specs[j].Lateness; l > maxLate {
+				maxLate = l
+			}
+		}
+		if maxLate > 0 {
+			s.SetStage1Frac(func(*workload.Request) float64 { return maxLate })
+		}
+	}
+	m.scheduleMonitor(e)
+}
+
+func (m *ReTail) scheduleMonitor(e *sim.Engine) {
+	e.After(m.cfg.MonitorInterval, "retail.monitor", func(en *sim.Engine) {
+		m.monitorTick(en)
+		m.scheduleMonitor(en)
+	})
+}
+
+// pruneWindow drops monitor samples older than monitorSpan, but always
+// keeps the most recent minKeep so slow services (Sphinx completes a
+// handful of requests per second) still get a usable tail estimate.
+func (m *ReTail) pruneWindow(now sim.Time) {
+	const minKeep = 60
+	cut := 0
+	for cut < len(m.winAt) && m.winAt[cut] < now-m.monitorSpan && len(m.winAt)-cut > minKeep {
+		cut++
+	}
+	if cut > 0 {
+		m.winAt = append(m.winAt[:0], m.winAt[cut:]...)
+		m.winVal = append(m.winVal[:0], m.winVal[cut:]...)
+	}
+	// Hard cap so the slice cannot grow without bound at high RPS between
+	// monitor ticks.
+	if n := len(m.winVal); n > 8192 {
+		m.winAt = append(m.winAt[:0], m.winAt[n-8192:]...)
+		m.winVal = append(m.winVal[:0], m.winVal[n-8192:]...)
+	}
+}
+
+// measuredTail returns the QoS-percentile sojourn over the recent window.
+func (m *ReTail) measuredTail(now sim.Time) (float64, bool) {
+	m.pruneWindow(now)
+	if len(m.winVal) < 20 {
+		return 0, false
+	}
+	return stats.Percentile(m.winVal, m.qos.Percentile), true
+}
+
+// monitorTick implements the latency monitor (§VI-C): compare the measured
+// tail over the recent window with the target and nudge QoS′.
+func (m *ReTail) monitorTick(e *sim.Engine) {
+	if m.cfg.DisableMonitor {
+		m.qosPrime = m.qos.Latency
+		return
+	}
+	target := float64(m.qos.Latency)
+	step := sim.Duration(m.cfg.StepFrac * target)
+	if measured, ok := m.measuredTail(e.Now()); ok {
+		if m.smoothedTail == 0 {
+			m.smoothedTail = measured
+		} else {
+			m.smoothedTail += 0.35 * (measured - m.smoothedTail)
+		}
+		// Both directions are rate-limited to a fraction of the measured
+		// response time: adjusting again before completed requests reflect
+		// the previous move steers on stale data and produces limit cycles
+		// on services with multi-second sojourns (Sphinx). Decreases react
+		// faster than relaxations, and an outright overload (tail 15% past
+		// target) bypasses the limit entirely, preserving the paper's
+		// property that a load spike drives QoS′ to the floor within 2 s.
+		rateGap := func(frac float64) sim.Duration {
+			gap := sim.Duration(frac * m.smoothedTail)
+			if gap < m.cfg.MonitorInterval {
+				gap = m.cfg.MonitorInterval
+			}
+			return gap
+		}
+		switch {
+		// The guard band keeps the closed-loop equilibrium just under the
+		// target instead of oscillating across it. The correction scales
+		// with the excess: a tail grazing the guard gets a nudge, a real
+		// violation gets the full step — otherwise measurement noise near
+		// the target triggers full cuts and burns power on services whose
+		// tail legitimately rides close to QoS (ImgDNN at max load).
+		case m.smoothedTail > 0.97*target:
+			if e.Now() >= m.nextAdjustAt || m.smoothedTail > 1.15*target {
+				frac := (m.smoothedTail/target - 0.97) / 0.06
+				if frac > 1 {
+					frac = 1
+				}
+				m.qosPrime -= sim.Duration(float64(step) * frac)
+				m.nextAdjustAt = e.Now() + rateGap(0.2)
+			}
+		case m.smoothedTail < m.cfg.RelaxBelow*target && e.Now() >= m.nextAdjustAt:
+			// Half steps upward: giving latency back is cheap, taking it
+			// back after a violation is not.
+			m.qosPrime += step / 2
+			m.nextAdjustAt = e.Now() + rateGap(0.6)
+		}
+		lo := sim.Duration(0.02 * target)
+		hi := sim.Duration(m.cfg.QoSPrimeCap * target)
+		if m.qosPrime < lo {
+			m.qosPrime = lo
+		}
+		if m.qosPrime > hi {
+			m.qosPrime = hi
+		}
+	}
+	if m.collectTraces {
+		m.qosPrimeTrace = append(m.qosPrimeTrace, TracePoint{e.Now(), float64(m.qosPrime)})
+		if cur, ok := m.drift.Current(); ok {
+			m.rmseTrace = append(m.rmseTrace, TracePoint{e.Now(), cur})
+		}
+	}
+}
+
+// predictService wraps the model, counting inferences and guarding feature
+// observability.
+func (m *ReTail) predictService(lvl cpu.Level, r *workload.Request) float64 {
+	m.inferences++
+	feats := ObservableFeatures(m.cfg.Layout.Specs, r, m.rd.isReady(r), false)
+	return m.model.Predict(lvl, feats)
+}
+
+// targetLevel is Algorithm 1: enumerate frequencies from lowest to
+// second-highest, and return the first under which every request in the
+// worker's pipeline (head, queue, plus an optional just-arriving request
+// not yet enqueued) is predicted to meet QoS′. headProgress discounts the
+// head request's already-completed work (progress is what hardware cycle
+// counters report in the real system).
+func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Request, headProgress float64, extra *workload.Request) cpu.Level {
+	now := e.Now()
+	queue := w.Queue()
+	maxLvl := m.grid.MaxLevel()
+	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
+		serviceSum := 0.0
+		ok := true
+		// Head request: remaining work only.
+		svc := m.predictService(lvl, head) * (1 - headProgress)
+		if svc < 0 {
+			svc = 0
+		}
+		if float64(now-head.Gen)+svc > float64(m.qosPrime) {
+			continue
+		}
+		serviceSum = svc
+		if m.cfg.HeadOnly {
+			return lvl // ablation: ignore queued requests entirely
+		}
+		check := func(r *workload.Request) bool {
+			s := m.predictService(lvl, r)
+			queuing := float64(now-r.Gen) + serviceSum
+			if queuing+s > float64(m.qosPrime) {
+				return false
+			}
+			serviceSum += s
+			return true
+		}
+		for _, r := range queue {
+			if !check(r) {
+				ok = false
+				break
+			}
+		}
+		if ok && extra != nil && !check(extra) {
+			ok = false
+		}
+		if ok {
+			return lvl
+		}
+	}
+	return maxLvl
+}
+
+// decide runs Algorithm 1 for the worker's head request and applies the
+// result. The computation happens on ReTail's dedicated runtime core, so
+// the only latency it adds is before the frequency write lands: the
+// decision delay (inference count × cost) is appended to the hardware
+// transition latency by deferring the SetLevel call.
+func (m *ReTail) decide(e *sim.Engine, w *server.Worker, head *workload.Request, headProgress float64, extra *workload.Request) {
+	before := m.inferences
+	lvl := m.targetLevel(e, w, head, headProgress, extra)
+	m.decisions++
+	cost := sim.Duration(float64(m.inferences-before)) * m.cfg.InferenceCost
+	e.After(cost, "retail.setfreq", func(en *sim.Engine) {
+		// The head may have completed during the decision; the level is
+		// still the best estimate for the pipeline, so apply regardless.
+		w.Core().SetLevel(en, lvl)
+	})
+}
+
+// Arrival implements server.Hooks: re-examine the running request's
+// frequency, since the newcomer's queueing delay depends on it (§VI-B:
+// "upon any new requests added before R1 completes, Algorithm 1 is
+// invoked to check or update R1's frequency").
+func (m *ReTail) Arrival(e *sim.Engine, w *server.Worker, r *workload.Request) bool {
+	if cur := w.Current(); cur != nil {
+		// r has not been enqueued yet; include it explicitly so R1's
+		// frequency accounts for the newcomer's deadline too.
+		m.decide(e, w, cur, w.ProgressFraction(e.Now()), r)
+	}
+	return true
+}
+
+// Ready implements server.Hooks.
+func (m *ReTail) Ready(e *sim.Engine, w *server.Worker, r *workload.Request) {
+	m.rd.markReady(r)
+	// Fresh application features can change the pipeline estimate.
+	if cur := w.Current(); cur != nil && cur != r {
+		m.decide(e, w, cur, w.ProgressFraction(e.Now()), nil)
+	}
+}
+
+// Start implements server.Hooks: the frequency predictor runs when a
+// request is scheduled.
+func (m *ReTail) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
+	m.decide(e, w, r, 0, nil)
+}
+
+// cleanSample reports whether the request executed (almost) entirely at
+// its final frequency level, so its measured service time is a valid
+// training label for that level. Requests boosted or re-targeted late in
+// their execution mix frequencies and would poison the model.
+func cleanSample(r *workload.Request) bool {
+	if r.LevelShifts == 0 {
+		return true
+	}
+	dur := r.End - r.Start
+	if dur <= 0 {
+		return false
+	}
+	return float64(r.LastLevelShift-r.Start) <= 0.15*float64(dur)
+}
+
+// Complete implements server.Hooks: record the sample for online
+// (re)training, feed the drift detector and the latency monitor.
+func (m *ReTail) Complete(e *sim.Engine, w *server.Worker, r *workload.Request) {
+	m.winAt = append(m.winAt, e.Now())
+	m.winVal = append(m.winVal, float64(r.Sojourn()))
+	m.rd.forget(r)
+	if cleanSample(r) {
+		actual := float64(r.ServiceTime())
+		lvl := cpu.Level(r.ServedLevel)
+		predicted := m.model.Predict(lvl, ObservableFeatures(m.cfg.Layout.Specs, r, true, false))
+		m.drift.Observe(predicted, actual)
+		if m.cfg.Training != nil {
+			m.cfg.Training.Add(predict.Sample{Level: lvl, Features: r.Features, Service: actual})
+		}
+	}
+	if m.drift.Drifted() && !m.retraining {
+		m.retrain(e)
+	}
+}
+
+// retrain refits the model from the latest samples after RetrainLatency of
+// virtual time; the old model keeps serving meanwhile (§V-D).
+func (m *ReTail) retrain(e *sim.Engine) {
+	if m.cfg.Training == nil {
+		return
+	}
+	m.retraining = true
+	e.After(m.cfg.RetrainLatency, "retail.retrain", func(en *sim.Engine) {
+		m.retraining = false
+		nm, err := predict.FitLinear(m.cfg.Training, m.cfg.Layout, m.grid.Levels())
+		if err != nil {
+			return // keep the old model; more samples will accumulate
+		}
+		m.model = nm
+		m.retrains++
+		m.drift.Reset()
+		// The healthy baseline may only improve: right after a drift the
+		// training rings still hold pre-drift samples, so the refit model
+		// can score poorly against them — raising the baseline then would
+		// mask persistent drift and suppress the follow-up retrains that
+		// finish the convergence.
+		if met, err := predict.Evaluate(nm, m.cfg.Training.All()); err == nil {
+			newBase := met.RMSE / float64(m.qos.Latency)
+			if old, ok := m.drift.Baseline(); !ok || newBase < old {
+				m.drift.SetBaseline(newBase)
+			}
+		}
+	})
+}
+
+// Model returns the live predictor (tests and experiments inspect it).
+func (m *ReTail) Model() predict.Predictor { return m.model }
+
+// SetDriftBaseline records the healthy-state RMSE/QoS (normally set by the
+// calibration pipeline right after the initial fit).
+func (m *ReTail) SetDriftBaseline(rmseOverQoS float64) { m.drift.SetBaseline(rmseOverQoS) }
+
+// SmoothedTail exposes the monitor's EWMA tail estimate for diagnostics.
+func (m *ReTail) SmoothedTail() float64 { return m.smoothedTail }

@@ -1,0 +1,166 @@
+package manager
+
+import (
+	"math"
+	"sort"
+
+	"retail/internal/cpu"
+	"retail/internal/predict"
+	"retail/internal/server"
+	"retail/internal/sim"
+	"retail/internal/stats"
+	"retail/internal/workload"
+)
+
+// Rubik is the statistical fine-grained baseline (Kasture et al., MICRO'15
+// — §II, §VII-A): it keeps an offline-profiled service-time distribution,
+// and on every scheduling event picks, from the current queue occupancy,
+// the lowest frequency whose *tail-quantile* latency estimate still meets
+// QoS. Two properties the paper calls out are reproduced exactly:
+//
+//   - the per-request prediction is a distribution tail, not a
+//     feature-conditioned estimate, so it is usually far above the actual
+//     service time (largest RMSE of the three, Table V) and the frequency
+//     choice is conservative — QoS always holds but less power is saved;
+//   - service time is assumed proportional to 1/frequency: the profile is
+//     taken at max frequency and scaled.
+type Rubik struct {
+	server.NoopHooks
+	qos  workload.QoS
+	grid *cpu.Grid
+
+	// profile is the sorted service-time sample set at max frequency.
+	profile []float64
+	// TailQuantile is the distribution quantile used as each request's
+	// latency prediction (0–1). The default 0.999 reflects the paper's
+	// description of Rubik as estimating *worst-case* latency ("often too
+	// conservative", §I/§II).
+	TailQuantile float64
+	// InferenceCost models the statistical table lookups (cheap; runs on
+	// the manager core like ReTail's, off the critical path).
+	InferenceCost sim.Duration
+
+	inferences uint64
+}
+
+// NewRubik builds the manager from an offline profile of service times at
+// max frequency (seconds).
+func NewRubik(qos workload.QoS, profileAtMax []float64) *Rubik {
+	p := make([]float64, len(profileAtMax))
+	copy(p, profileAtMax)
+	sort.Float64s(p)
+	return &Rubik{qos: qos, profile: p, TailQuantile: 0.999, InferenceCost: 1 * sim.Microsecond}
+}
+
+func (m *Rubik) Name() string { return "rubik" }
+
+// Inferences returns the tail-estimate count.
+func (m *Rubik) Inferences() uint64 { return m.inferences }
+
+// Attach implements Manager.
+func (m *Rubik) Attach(e *sim.Engine, s *server.Server) {
+	m.grid = s.Socket.Cores[0].Grid()
+	s.Hooks = m
+}
+
+// tailServiceAt returns the profiled tail quantile scaled proportionally
+// to the given level's frequency.
+func (m *Rubik) tailServiceAt(lvl cpu.Level) float64 {
+	m.inferences++
+	if len(m.profile) == 0 {
+		return 0
+	}
+	q := stats.PercentileSorted(m.profile, m.TailQuantile*100)
+	return q * m.grid.MaxFreq() / m.grid.Freq(lvl)
+}
+
+// RMSEAgainst reports the prediction error of Rubik's tail estimate versus
+// actual service times (Table V's Rubik row), all at max frequency.
+func (m *Rubik) RMSEAgainst(actual []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	tail := m.tailServiceAt(m.grid.MaxLevel())
+	sum := 0.0
+	for _, a := range actual {
+		d := tail - a
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(actual)))
+}
+
+// RMSEAgainstAt scores the tail estimate against measured samples at the
+// frequency levels they actually ran at. The grid must be supplied because
+// this may be called before Attach.
+func (m *Rubik) RMSEAgainstAt(grid *cpu.Grid, samples []predict.Sample, actual []float64) float64 {
+	if len(samples) == 0 || len(samples) != len(actual) {
+		return 0
+	}
+	if m.grid == nil {
+		m.grid = grid
+	}
+	sum := 0.0
+	for i, s := range samples {
+		d := m.tailServiceAt(grid.Clamp(s.Level)) - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(samples)))
+}
+
+func (m *Rubik) decide(e *sim.Engine, w *server.Worker, head *workload.Request, headProgress float64, extra *workload.Request) {
+	now := e.Now()
+	queue := w.Queue()
+	target := float64(m.qos.Latency)
+	maxLvl := m.grid.MaxLevel()
+	chosen := maxLvl
+	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
+		tail := m.tailServiceAt(lvl)
+		ok := true
+		svc := tail * (1 - headProgress)
+		if svc < 0 {
+			svc = 0
+		}
+		if float64(now-head.Gen)+svc > target {
+			continue
+		}
+		sum := svc
+		check := func(r *workload.Request) bool {
+			if float64(now-r.Gen)+sum+tail > target {
+				return false
+			}
+			sum += tail
+			return true
+		}
+		for _, r := range queue {
+			if !check(r) {
+				ok = false
+				break
+			}
+		}
+		if ok && extra != nil && !check(extra) {
+			ok = false
+		}
+		if ok {
+			chosen = lvl
+			break
+		}
+	}
+	cost := m.InferenceCost // table lookups are trivially cheap
+	e.After(cost, "rubik.setfreq", func(en *sim.Engine) {
+		w.Core().SetLevel(en, chosen)
+	})
+}
+
+// Arrival implements server.Hooks: Rubik re-evaluates on queue growth,
+// including the newly arriving request in the pipeline estimate.
+func (m *Rubik) Arrival(e *sim.Engine, w *server.Worker, r *workload.Request) bool {
+	if cur := w.Current(); cur != nil {
+		m.decide(e, w, cur, w.ProgressFraction(e.Now()), r)
+	}
+	return true
+}
+
+// Start implements server.Hooks.
+func (m *Rubik) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
+	m.decide(e, w, r, 0, nil)
+}

@@ -1,0 +1,317 @@
+// Package nn implements the feed-forward neural networks the paper uses as
+// ReTail's foil (§V-B): Gemini's 5×128 ReLU MLP with an MSE loss ("NN-G")
+// and the per-application hand-tuned variant ("NN-T"). The point of the
+// comparison is that NNs buy little accuracy over linear regression on
+// these workloads while costing orders of magnitude more training and
+// inference time, so the implementation favors clarity over speed — the
+// overhead gap is intrinsic, not an artifact.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Config describes an MLP.
+type Config struct {
+	InputDim     int
+	HiddenLayers int     // number of hidden layers
+	Neurons      int     // neurons per hidden layer
+	Epochs       int     // full passes over the training set
+	BatchSize    int     // minibatch size
+	LearningRate float64 // Adam step size; 0 → 1e-3
+	Seed         int64   // weight-init and shuffle seed
+}
+
+// GeminiConfig returns the NN structure Gemini proposes: 5 hidden layers of
+// 128 neurons, ReLU activations, MSE loss.
+func GeminiConfig(inputDim int) Config {
+	return Config{InputDim: inputDim, HiddenLayers: 5, Neurons: 128, Epochs: 60, BatchSize: 32, Seed: 1}
+}
+
+// TunedConfig returns a small hand-tuned structure in the spirit of the
+// paper's NN-T (e.g. one 16-neuron hidden layer for Xapian).
+func TunedConfig(inputDim, hiddenLayers, neurons, epochs, batch int) Config {
+	return Config{InputDim: inputDim, HiddenLayers: hiddenLayers, Neurons: neurons, Epochs: epochs, BatchSize: batch, Seed: 1}
+}
+
+type layer struct {
+	in, out int
+	w       []float64 // out×in, row-major
+	b       []float64 // out
+	// Adam state
+	mw, vw []float64
+	mb, vb []float64
+}
+
+func newLayer(in, out int, rng *rand.Rand) *layer {
+	l := &layer{
+		in: in, out: out,
+		w: make([]float64, in*out), b: make([]float64, out),
+		mw: make([]float64, in*out), vw: make([]float64, in*out),
+		mb: make([]float64, out), vb: make([]float64, out),
+	}
+	// He initialization suits ReLU.
+	std := math.Sqrt(2 / float64(in))
+	for i := range l.w {
+		l.w[i] = rng.NormFloat64() * std
+	}
+	return l
+}
+
+// Network is a trained (or in-training) MLP with standardized inputs and
+// output. The zero value is unusable; call New.
+type Network struct {
+	cfg    Config
+	layers []*layer
+
+	inMean, inStd []float64
+	outMean       float64
+	outStd        float64
+	trained       bool
+
+	// TrainDuration records the wall-clock cost of the last Fit call; the
+	// Table IV experiment reports it against linear regression's.
+	TrainDuration time.Duration
+}
+
+// New builds an untrained network.
+func New(cfg Config) (*Network, error) {
+	if cfg.InputDim <= 0 {
+		return nil, errors.New("nn: InputDim must be positive")
+	}
+	if cfg.HiddenLayers < 0 || cfg.Neurons <= 0 && cfg.HiddenLayers > 0 {
+		return nil, fmt.Errorf("nn: invalid hidden shape (%d layers × %d neurons)", cfg.HiddenLayers, cfg.Neurons)
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 50
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 1e-3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{cfg: cfg}
+	prev := cfg.InputDim
+	for i := 0; i < cfg.HiddenLayers; i++ {
+		n.layers = append(n.layers, newLayer(prev, cfg.Neurons, rng))
+		prev = cfg.Neurons
+	}
+	n.layers = append(n.layers, newLayer(prev, 1, rng))
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// ParamCount returns the number of trainable parameters.
+func (n *Network) ParamCount() int {
+	c := 0
+	for _, l := range n.layers {
+		c += len(l.w) + len(l.b)
+	}
+	return c
+}
+
+func (n *Network) standardize(x []float64, dst []float64) {
+	for i := range x {
+		sd := n.inStd[i]
+		if sd == 0 {
+			sd = 1
+		}
+		dst[i] = (x[i] - n.inMean[i]) / sd
+	}
+}
+
+// forward runs one sample, storing pre-activation inputs per layer for
+// backprop when acts is non-nil.
+func (n *Network) forward(x []float64, acts [][]float64) float64 {
+	cur := x
+	for li, l := range n.layers {
+		next := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			s := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			if li < len(n.layers)-1 && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			next[o] = s
+		}
+		if acts != nil {
+			acts[li] = cur
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// Fit trains the network on (features, targets) using minibatch Adam with
+// an MSE loss, standardizing inputs and target internally. It records the
+// wall-clock training time in TrainDuration.
+func (n *Network) Fit(features [][]float64, targets []float64) error {
+	if len(features) == 0 {
+		return errors.New("nn: no training samples")
+	}
+	if len(features) != len(targets) {
+		return errors.New("nn: sample/target count mismatch")
+	}
+	d := n.cfg.InputDim
+	for i, f := range features {
+		if len(f) != d {
+			return fmt.Errorf("nn: sample %d has %d features, want %d", i, len(f), d)
+		}
+	}
+	start := time.Now()
+	// Standardization statistics.
+	n.inMean = make([]float64, d)
+	n.inStd = make([]float64, d)
+	for _, f := range features {
+		for j, v := range f {
+			n.inMean[j] += v
+		}
+	}
+	for j := range n.inMean {
+		n.inMean[j] /= float64(len(features))
+	}
+	for _, f := range features {
+		for j, v := range f {
+			dv := v - n.inMean[j]
+			n.inStd[j] += dv * dv
+		}
+	}
+	for j := range n.inStd {
+		n.inStd[j] = math.Sqrt(n.inStd[j] / float64(len(features)))
+	}
+	n.outMean, n.outStd = 0, 0
+	for _, t := range targets {
+		n.outMean += t
+	}
+	n.outMean /= float64(len(targets))
+	for _, t := range targets {
+		dv := t - n.outMean
+		n.outStd += dv * dv
+	}
+	n.outStd = math.Sqrt(n.outStd / float64(len(targets)))
+	if n.outStd == 0 {
+		n.outStd = 1
+	}
+
+	xs := make([][]float64, len(features))
+	ys := make([]float64, len(targets))
+	for i, f := range features {
+		xs[i] = make([]float64, d)
+		n.standardize(f, xs[i])
+		ys[i] = (targets[i] - n.outMean) / n.outStd
+	}
+
+	rng := rand.New(rand.NewSource(n.cfg.Seed + 17))
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for off := 0; off < len(idx); off += n.cfg.BatchSize {
+			end := off + n.cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[off:end]
+			// Accumulate gradients over the batch.
+			gw := make([][]float64, len(n.layers))
+			gb := make([][]float64, len(n.layers))
+			for li, l := range n.layers {
+				gw[li] = make([]float64, len(l.w))
+				gb[li] = make([]float64, len(l.b))
+			}
+			acts := make([][]float64, len(n.layers))
+			for _, si := range batch {
+				pred := n.forward(xs[si], acts)
+				// dL/dpred for 0.5·MSE per sample.
+				delta := []float64{pred - ys[si]}
+				for li := len(n.layers) - 1; li >= 0; li-- {
+					l := n.layers[li]
+					in := acts[li]
+					nd := make([]float64, l.in)
+					for o := 0; o < l.out; o++ {
+						dO := delta[o]
+						if dO == 0 {
+							continue
+						}
+						row := l.w[o*l.in : (o+1)*l.in]
+						gb[li][o] += dO
+						grow := gw[li][o*l.in : (o+1)*l.in]
+						for i, v := range in {
+							grow[i] += dO * v
+							nd[i] += dO * row[i]
+						}
+					}
+					// ReLU derivative through the previous layer's output.
+					if li > 0 {
+						for i := range nd {
+							if in[i] <= 0 {
+								nd[i] = 0
+							}
+						}
+					}
+					delta = nd
+				}
+			}
+			// Adam update.
+			step++
+			bs := float64(len(batch))
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
+			lr := n.cfg.LearningRate
+			for li, l := range n.layers {
+				for i := range l.w {
+					g := gw[li][i] / bs
+					l.mw[i] = beta1*l.mw[i] + (1-beta1)*g
+					l.vw[i] = beta2*l.vw[i] + (1-beta2)*g*g
+					l.w[i] -= lr * (l.mw[i] / bc1) / (math.Sqrt(l.vw[i]/bc2) + eps)
+				}
+				for i := range l.b {
+					g := gb[li][i] / bs
+					l.mb[i] = beta1*l.mb[i] + (1-beta1)*g
+					l.vb[i] = beta2*l.vb[i] + (1-beta2)*g*g
+					l.b[i] -= lr * (l.mb[i] / bc1) / (math.Sqrt(l.vb[i]/bc2) + eps)
+				}
+			}
+		}
+	}
+	n.trained = true
+	n.TrainDuration = time.Since(start)
+	return nil
+}
+
+// Predict returns the network's output for one feature vector.
+func (n *Network) Predict(x []float64) (float64, error) {
+	if !n.trained {
+		return 0, errors.New("nn: predict before Fit")
+	}
+	if len(x) != n.cfg.InputDim {
+		return 0, fmt.Errorf("nn: got %d features, want %d", len(x), n.cfg.InputDim)
+	}
+	std := make([]float64, len(x))
+	n.standardize(x, std)
+	return n.forward(std, nil)*n.outStd + n.outMean, nil
+}
+
+// MustPredict is Predict for callers that have already validated inputs.
+func (n *Network) MustPredict(x []float64) float64 {
+	v, err := n.Predict(x)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,33 @@
+package predict
+
+import (
+	"errors"
+
+	"retail/internal/cpu"
+)
+
+// Proportional wraps a predictor trained at a single reference frequency
+// and scales its estimate linearly with frequency — the latency ∝ 1/f
+// assumption Rubik and Gemini make (§V-A). The ablation experiments swap
+// it in for ReTail's per-frequency models to quantify how much of the
+// savings come from modeling the memory-bound fraction correctly.
+type Proportional struct {
+	base     Predictor
+	grid     *cpu.Grid
+	refLevel cpu.Level
+}
+
+// NewProportional wraps base, whose predictions are interpreted as being
+// at refLevel regardless of the level passed to Predict.
+func NewProportional(base Predictor, grid *cpu.Grid, refLevel cpu.Level) (*Proportional, error) {
+	if base == nil || grid == nil {
+		return nil, errors.New("predict: NewProportional needs a base predictor and grid")
+	}
+	return &Proportional{base: base, grid: grid, refLevel: grid.Clamp(refLevel)}, nil
+}
+
+// Predict implements Predictor.
+func (p *Proportional) Predict(lvl cpu.Level, features []float64) float64 {
+	ref := p.base.Predict(p.refLevel, features)
+	return ref * p.grid.Freq(p.refLevel) / p.grid.Freq(p.grid.Clamp(lvl))
+}

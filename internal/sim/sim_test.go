@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3, "c", func(*Engine) { got = append(got, 3) })
+	e.At(1, "a", func(*Engine) { got = append(got, 1) })
+	e.At(2, "b", func(*Engine) { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("fired order %v, want %v", got, want)
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3", e.Fired())
+	}
+}
+
+func TestEngineFIFOWithinSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, "tie", func(*Engine) { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order broken at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.At(1, "outer", func(en *Engine) {
+		got = append(got, en.Now())
+		en.After(2, "inner", func(en2 *Engine) {
+			got = append(got, en2.Now())
+		})
+	})
+	end := e.RunAll()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("nested events fired at %v, want [1 3]", got)
+	}
+	if end != 3 {
+		t.Fatalf("RunAll returned %v, want 3", end)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, "x", func(*Engine) { fired++ })
+	e.At(2, "y", func(*Engine) { fired++ })
+	e.At(10, "z", func(*Engine) { fired++ })
+	end := e.Run(5)
+	if fired != 2 {
+		t.Fatalf("fired %d events before t=5, want 2", fired)
+	}
+	if end != 5 {
+		t.Fatalf("Run returned %v, want 5", end)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// Event scheduled exactly at the boundary still fires.
+	e.At(7, "w", func(*Engine) { fired++ })
+	e.Run(7)
+	if fired != 3 {
+		t.Fatalf("boundary event did not fire; fired=%d", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, "x", func(*Engine) { fired = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-nil must not panic.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.At(Time(i), "n", func(*Engine) { got = append(got, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.RunAll()
+	if len(got) != 8 {
+		t.Fatalf("fired %d, want 8: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1, "a", func(en *Engine) { fired++; en.Stop() })
+	e.At(2, "b", func(*Engine) { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("Stop did not halt the loop; fired=%d", fired)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Now() = %v after stop, want 1", e.Now())
+	}
+}
+
+func TestSchedulingInThePastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.At(5, "outer", func(en *Engine) {
+		en.At(1, "past", func(en2 *Engine) { at = en2.Now() })
+	})
+	e.RunAll()
+	if at != 5 {
+		t.Fatalf("past-scheduled event fired at %v, want clamp to 5", at)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.At(2, "outer", func(en *Engine) {
+		en.After(-3, "neg", func(en2 *Engine) { at = en2.Now() })
+	})
+	e.RunAll()
+	if at != 2 {
+		t.Fatalf("negative After fired at %v, want 2", at)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	e := NewEngine()
+	var names []string
+	e.Trace = func(_ Time, name string) { names = append(names, name) }
+	e.At(1, "first", func(*Engine) {})
+	e.At(2, "second", func(*Engine) {})
+	e.RunAll()
+	if len(names) != 2 || names[0] != "first" || names[1] != "second" {
+		t.Fatalf("trace = %v", names)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{1.5, "1.5s"},
+		{2e-3, "2ms"},
+		{5e-6, "5us"},
+		{7e-9, "7ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+// Property: events fire in nondecreasing time order no matter the insertion
+// order.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		count := int(n%64) + 1
+		var firedAt []Time
+		for i := 0; i < count; i++ {
+			at := Time(rng.Float64() * 100)
+			e.At(at, "p", func(en *Engine) { firedAt = append(firedAt, en.Now()) })
+		}
+		e.RunAll()
+		return sort.SliceIsSorted(firedAt, func(i, j int) bool { return firedAt[i] < firedAt[j] }) &&
+			len(firedAt) == count
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Run(until) never advances the clock past until, and never fires
+// events scheduled after it.
+func TestRunUntilProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		until := Time(rng.Float64() * 50)
+		late := 0
+		for i := 0; i < 40; i++ {
+			at := Time(rng.Float64() * 100)
+			e.At(at, "p", func(en *Engine) {
+				if en.Now() > until {
+					late++
+				}
+			})
+		}
+		end := e.Run(until)
+		return late == 0 && end <= until+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%97), "b", func(*Engine) {})
+		}
+		e.RunAll()
+	}
+}

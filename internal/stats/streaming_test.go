@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 500)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		r.Add(xs[i])
+	}
+	if !almost(r.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("running mean %v vs batch %v", r.Mean(), Mean(xs))
+	}
+	if !almost(r.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("running variance %v vs batch %v", r.Variance(), Variance(xs))
+	}
+	if r.Min() != Min(xs) || r.Max() != Max(xs) {
+		t.Fatal("running min/max mismatch")
+	}
+	if r.N() != 500 {
+		t.Fatalf("N = %d", r.N())
+	}
+}
+
+func TestRunningReset(t *testing.T) {
+	var r Running
+	r.Add(5)
+	r.Reset()
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Add(3)
+	if r.Mean() != 3 || r.Variance() != 0 || r.Min() != 3 || r.Max() != 3 {
+		t.Fatalf("single sample stats wrong: %+v", r)
+	}
+}
+
+func TestLatencyTrackerWindow(t *testing.T) {
+	tr := NewLatencyTracker(4, false)
+	for i := 1; i <= 10; i++ {
+		tr.Add(float64(i))
+	}
+	if tr.WindowCount() != 4 {
+		t.Fatalf("window count = %d, want 4", tr.WindowCount())
+	}
+	// Window holds {7,8,9,10}; p0 is the oldest surviving sample.
+	if v, ok := tr.WindowPercentile(0); !ok || v != 7 {
+		t.Fatalf("window p0 = %v, %v", v, ok)
+	}
+	if v, ok := tr.WindowPercentile(100); !ok || v != 10 {
+		t.Fatalf("window p100 = %v, %v", v, ok)
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("total count = %d", tr.Count())
+	}
+	tr.ResetWindow()
+	if _, ok := tr.WindowPercentile(50); ok {
+		t.Fatal("window not cleared")
+	}
+	if tr.Count() != 10 {
+		t.Fatal("cumulative count lost on window reset")
+	}
+}
+
+func TestLatencyTrackerKeepAll(t *testing.T) {
+	tr := NewLatencyTracker(2, true)
+	for i := 1; i <= 100; i++ {
+		tr.Add(float64(i))
+	}
+	if v, ok := tr.Percentile(99); !ok || !almost(v, 99.01, 0.5) {
+		t.Fatalf("p99 = %v, %v", v, ok)
+	}
+	all := tr.All()
+	if len(all) != 100 {
+		t.Fatalf("All() len = %d", len(all))
+	}
+	// Mutating the copy must not affect the tracker.
+	all[0] = -1
+	if v, _ := tr.Percentile(0); v != 1 {
+		t.Fatal("All() returned aliased storage")
+	}
+	qs := tr.Quantiles(0.5, 0.99)
+	if len(qs) != 2 || qs[0] < qs[1] == false && qs[0] > qs[1] {
+		t.Fatalf("quantiles = %v", qs)
+	}
+	if !almost(qs[0], 50.5, 1) {
+		t.Fatalf("median = %v", qs[0])
+	}
+}
+
+func TestLatencyTrackerNoKeepAllFallsBack(t *testing.T) {
+	tr := NewLatencyTracker(8, false)
+	if tr.All() != nil {
+		t.Fatal("All() should be nil without keepAll")
+	}
+	for i := 0; i < 8; i++ {
+		tr.Add(float64(i))
+	}
+	if v, ok := tr.Percentile(100); !ok || v != 7 {
+		t.Fatalf("fallback percentile = %v, %v", v, ok)
+	}
+	qs := tr.Quantiles(1.0)
+	if qs[0] != 7 {
+		t.Fatalf("window quantile = %v", qs[0])
+	}
+}
+
+func TestLatencyTrackerEmptyQuantiles(t *testing.T) {
+	tr := NewLatencyTracker(4, true)
+	qs := tr.Quantiles(0.5, 0.9)
+	if qs[0] != 0 || qs[1] != 0 {
+		t.Fatalf("empty quantiles = %v", qs)
+	}
+	if _, ok := tr.Percentile(50); ok {
+		t.Fatal("empty tracker should report no percentile")
+	}
+}
+
+func TestLatencyTrackerDefaultWindow(t *testing.T) {
+	tr := NewLatencyTracker(0, false)
+	for i := 0; i < 5000; i++ {
+		tr.Add(1)
+	}
+	if tr.WindowCount() != 4096 {
+		t.Fatalf("default window cap = %d, want 4096", tr.WindowCount())
+	}
+}
+
+// Property: Running variance is never negative, and mean stays within
+// [min, max].
+func TestRunningInvariants(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var r Running
+		count := int(n)%100 + 1
+		for i := 0; i < count; i++ {
+			r.Add(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6))))
+		}
+		return r.Variance() >= 0 && r.Mean() >= r.Min()-1e-9 && r.Mean() <= r.Max()+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

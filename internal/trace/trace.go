@@ -1,0 +1,243 @@
+// Package trace provides per-request journaling for the simulated server:
+// a recorder that taps a server's hooks chain (wrapping whatever power
+// manager is attached) and captures arrival, feature-ready, start and
+// completion events plus frequency-level annotations. Experiments use it
+// for post-hoc analysis and CSV export of request-level timelines — the
+// kind of artifact an operator of the real system would want when
+// debugging a QoS violation.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"retail/internal/server"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+// EventKind labels a journal entry.
+type EventKind uint8
+
+const (
+	EvArrival EventKind = iota
+	EvReady
+	EvStart
+	EvComplete
+	EvDropped
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvArrival:
+		return "arrival"
+	case EvReady:
+		return "ready"
+	case EvStart:
+		return "start"
+	case EvComplete:
+		return "complete"
+	case EvDropped:
+		return "dropped"
+	}
+	return "unknown"
+}
+
+// Event is one journal entry.
+type Event struct {
+	At     sim.Time
+	Kind   EventKind
+	ReqID  uint64
+	Worker int
+	// Level is the worker core's effective level at the event (−1 for
+	// events with no core context).
+	Level int
+}
+
+// Recorder wraps a server's hooks and journals request lifecycle events.
+// Install with Attach after the power manager has been attached, so the
+// manager's hooks remain in the chain.
+type Recorder struct {
+	inner  server.Hooks
+	events []Event
+	limit  int
+}
+
+// NewRecorder returns a recorder keeping at most limit events (≤ 0 means
+// unbounded).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Attach interposes the recorder between the server and its current hooks
+// (the power manager). Call after manager.Attach.
+func (rec *Recorder) Attach(s *server.Server) {
+	rec.inner = s.Hooks
+	s.Hooks = rec
+}
+
+func (rec *Recorder) record(ev Event) {
+	if rec.limit > 0 && len(rec.events) >= rec.limit {
+		return
+	}
+	rec.events = append(rec.events, ev)
+}
+
+// Arrival implements server.Hooks.
+func (rec *Recorder) Arrival(e *sim.Engine, w *server.Worker, r *workload.Request) bool {
+	keep := true
+	if rec.inner != nil {
+		keep = rec.inner.Arrival(e, w, r)
+	}
+	kind := EvArrival
+	if !keep {
+		kind = EvDropped
+	}
+	rec.record(Event{At: e.Now(), Kind: kind, ReqID: r.ID, Worker: w.ID, Level: int(w.Core().EffectiveLevel())})
+	return keep
+}
+
+// Ready implements server.Hooks.
+func (rec *Recorder) Ready(e *sim.Engine, w *server.Worker, r *workload.Request) {
+	rec.record(Event{At: e.Now(), Kind: EvReady, ReqID: r.ID, Worker: w.ID, Level: int(w.Core().EffectiveLevel())})
+	if rec.inner != nil {
+		rec.inner.Ready(e, w, r)
+	}
+}
+
+// Start implements server.Hooks.
+func (rec *Recorder) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
+	if rec.inner != nil {
+		rec.inner.Start(e, w, r)
+	}
+	rec.record(Event{At: e.Now(), Kind: EvStart, ReqID: r.ID, Worker: w.ID, Level: int(w.Core().EffectiveLevel())})
+}
+
+// Complete implements server.Hooks.
+func (rec *Recorder) Complete(e *sim.Engine, w *server.Worker, r *workload.Request) {
+	rec.record(Event{At: e.Now(), Kind: EvComplete, ReqID: r.ID, Worker: w.ID, Level: r.ServedLevel})
+	if rec.inner != nil {
+		rec.inner.Complete(e, w, r)
+	}
+}
+
+// Events returns the journal (the recorder's own slice; do not modify).
+func (rec *Recorder) Events() []Event { return rec.events }
+
+// Len returns the journal length.
+func (rec *Recorder) Len() int { return len(rec.events) }
+
+// Lifecycle summarizes one request's journey through the journal.
+type Lifecycle struct {
+	ReqID                          uint64
+	Arrival, Ready, Start, End     sim.Time
+	Worker                         int
+	Dropped                        bool
+	hasArrival, hasReady, hasStart bool
+}
+
+// QueueDelay returns Start − Arrival (0 when either is missing).
+func (l Lifecycle) QueueDelay() sim.Duration {
+	if !l.hasArrival || !l.hasStart {
+		return 0
+	}
+	return l.Start - l.Arrival
+}
+
+// Lifecycles folds the journal into per-request summaries, in first-seen
+// order.
+func (rec *Recorder) Lifecycles() []Lifecycle {
+	idx := map[uint64]int{}
+	var out []Lifecycle
+	get := func(id uint64) *Lifecycle {
+		if i, ok := idx[id]; ok {
+			return &out[i]
+		}
+		idx[id] = len(out)
+		out = append(out, Lifecycle{ReqID: id})
+		return &out[len(out)-1]
+	}
+	for _, ev := range rec.events {
+		l := get(ev.ReqID)
+		switch ev.Kind {
+		case EvArrival:
+			l.Arrival, l.hasArrival = ev.At, true
+			l.Worker = ev.Worker
+		case EvDropped:
+			l.Arrival, l.hasArrival = ev.At, true
+			l.Dropped = true
+		case EvReady:
+			l.Ready, l.hasReady = ev.At, true
+		case EvStart:
+			l.Start, l.hasStart = ev.At, true
+		case EvComplete:
+			l.End = ev.At
+		}
+	}
+	return out
+}
+
+// CSV writes the raw journal.
+func (rec *Recorder) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"t_s", "event", "req_id", "worker", "level"}); err != nil {
+		return err
+	}
+	for _, ev := range rec.events {
+		err := w.Write([]string{
+			strconv.FormatFloat(float64(ev.At), 'g', -1, 64),
+			ev.Kind.String(),
+			strconv.FormatUint(ev.ReqID, 10),
+			strconv.Itoa(ev.Worker),
+			strconv.Itoa(ev.Level),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Validate checks journal invariants: per request, events appear in
+// lifecycle order and completion never precedes start. It returns the
+// first violation found.
+func (rec *Recorder) Validate() error {
+	type state struct {
+		started, completed, dropped bool
+		last                        sim.Time
+	}
+	states := map[uint64]*state{}
+	for i, ev := range rec.events {
+		st := states[ev.ReqID]
+		if st == nil {
+			st = &state{}
+			states[ev.ReqID] = st
+		}
+		if ev.At < st.last {
+			return fmt.Errorf("trace: event %d (%s req %d) goes backwards in time", i, ev.Kind, ev.ReqID)
+		}
+		st.last = ev.At
+		switch ev.Kind {
+		case EvDropped:
+			st.dropped = true
+		case EvStart:
+			if st.dropped {
+				return fmt.Errorf("trace: dropped request %d started", ev.ReqID)
+			}
+			st.started = true
+		case EvComplete:
+			if !st.started {
+				return fmt.Errorf("trace: request %d completed without starting", ev.ReqID)
+			}
+			if st.completed {
+				return fmt.Errorf("trace: request %d completed twice", ev.ReqID)
+			}
+			st.completed = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"retail/internal/core"
+	"retail/internal/cpu"
+	"retail/internal/server"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+func tracedRun(t *testing.T, limit int) (*Recorder, int) {
+	t.Helper()
+	app := workload.NewXapian()
+	platform := core.DefaultPlatform().WithWorkers(4)
+	cal, err := core.Calibrate(app, platform, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := platform.Grid
+	srv := server.New(server.Config{
+		App: app, Workers: platform.Workers, Grid: g,
+		Power: platform.Power, Trans: platform.Trans, Seed: 1,
+	})
+	e := sim.NewEngine()
+	m := cal.NewReTail()
+	m.Attach(e, srv)
+	rec := NewRecorder(limit)
+	rec.Attach(srv)
+	gen := workload.NewGenerator(app, 800, 3, srv.Submit)
+	gen.Start(e)
+	e.Run(2)
+	gen.Stop()
+	return rec, srv.Completed()
+}
+
+func TestRecorderJournalsLifecycle(t *testing.T) {
+	rec, completed := tracedRun(t, 0)
+	if completed == 0 {
+		t.Fatal("no completions")
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[EventKind]int{}
+	for _, ev := range rec.Events() {
+		counts[ev.Kind]++
+	}
+	if counts[EvComplete] != completed {
+		t.Fatalf("journal completes %d, server says %d", counts[EvComplete], completed)
+	}
+	if counts[EvArrival] < completed {
+		t.Fatalf("arrivals %d < completes %d", counts[EvArrival], completed)
+	}
+	if counts[EvReady] == 0 || counts[EvStart] == 0 {
+		t.Fatalf("missing lifecycle events: %v", counts)
+	}
+}
+
+func TestLifecyclesDerivation(t *testing.T) {
+	rec, _ := tracedRun(t, 0)
+	ls := rec.Lifecycles()
+	if len(ls) == 0 {
+		t.Fatal("no lifecycles")
+	}
+	for _, l := range ls {
+		if l.End == 0 {
+			continue // still in flight at horizon
+		}
+		if l.End < l.Start || l.Start < l.Arrival {
+			t.Fatalf("lifecycle out of order: %+v", l)
+		}
+		if l.QueueDelay() < 0 {
+			t.Fatalf("negative queue delay: %+v", l)
+		}
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec, _ := tracedRun(t, 10)
+	if rec.Len() != 10 {
+		t.Fatalf("len = %d, want limit 10", rec.Len())
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	rec, _ := tracedRun(t, 100)
+	var buf bytes.Buffer
+	if err := rec.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 101 {
+		t.Fatalf("rows = %d, want 101", len(rows))
+	}
+	if rows[0][1] != "event" {
+		t.Fatalf("header = %v", rows[0])
+	}
+}
+
+func TestValidateCatchesBrokenJournals(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.record(Event{At: 1, Kind: EvComplete, ReqID: 7})
+	if err := rec.Validate(); err == nil {
+		t.Fatal("complete-without-start not caught")
+	}
+	rec = NewRecorder(0)
+	rec.record(Event{At: 2, Kind: EvStart, ReqID: 7})
+	rec.record(Event{At: 1, Kind: EvComplete, ReqID: 7})
+	if err := rec.Validate(); err == nil {
+		t.Fatal("time reversal not caught")
+	}
+	rec = NewRecorder(0)
+	rec.record(Event{At: 1, Kind: EvDropped, ReqID: 7})
+	rec.record(Event{At: 2, Kind: EvStart, ReqID: 7})
+	if err := rec.Validate(); err == nil {
+		t.Fatal("dropped-then-started not caught")
+	}
+}
+
+func TestRecorderPreservesManagerBehavior(t *testing.T) {
+	// A traced run and an untraced run with the same seed must produce
+	// identical completion counts — the recorder is a pure observer.
+	app := workload.NewImgDNN()
+	platform := core.DefaultPlatform().WithWorkers(2)
+	run := func(traced bool) int {
+		g := cpu.DefaultGrid()
+		srv := server.New(server.Config{
+			App: app, Workers: 2, Grid: g,
+			Power: platform.Power, Trans: platform.Trans, Seed: 1,
+		})
+		e := sim.NewEngine()
+		cal, err := core.Calibrate(app, platform, 100, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := cal.NewReTail()
+		m.Attach(e, srv)
+		if traced {
+			NewRecorder(0).Attach(srv)
+		}
+		gen := workload.NewGenerator(app, 300, 5, srv.Submit)
+		gen.Start(e)
+		e.Run(2)
+		gen.Stop()
+		return srv.Completed()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("recorder changed behavior: %d vs %d completions", a, b)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvArrival: "arrival", EvReady: "ready", EvStart: "start",
+		EvComplete: "complete", EvDropped: "dropped", EventKind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d → %q", k, k.String())
+		}
+	}
+}

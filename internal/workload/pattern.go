@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"retail/internal/sim"
+)
+
+// RatePoint sets the arrival rate from At onward.
+type RatePoint struct {
+	At  sim.Time
+	RPS float64
+}
+
+// LoadPattern is a piecewise-constant arrival-rate schedule — the load
+// fluctuations (diurnal curves, spikes) that motivate QoS-aware power
+// management in the first place.
+type LoadPattern struct {
+	points []RatePoint
+}
+
+// NewLoadPattern validates and sorts the schedule. At least one point is
+// required and rates must be non-negative.
+func NewLoadPattern(points []RatePoint) (*LoadPattern, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("workload: empty load pattern")
+	}
+	ps := make([]RatePoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].At < ps[j].At })
+	for _, p := range ps {
+		if p.RPS < 0 {
+			return nil, fmt.Errorf("workload: negative rate %v at %v", p.RPS, p.At)
+		}
+	}
+	return &LoadPattern{points: ps}, nil
+}
+
+// Diurnal builds a day-like curve compressed into the given period: load
+// ramps from lowFrac·peak up to peak and back down across nSteps segments.
+func Diurnal(peakRPS, lowFrac float64, period sim.Duration, nSteps int) (*LoadPattern, error) {
+	if nSteps < 2 {
+		return nil, fmt.Errorf("workload: diurnal needs ≥ 2 steps")
+	}
+	if lowFrac <= 0 || lowFrac > 1 {
+		return nil, fmt.Errorf("workload: lowFrac %v outside (0,1]", lowFrac)
+	}
+	pts := make([]RatePoint, nSteps)
+	for i := range pts {
+		frac := float64(i) / float64(nSteps-1) // 0..1
+		// Triangle wave: up then down.
+		tri := 1 - 2*abs(frac-0.5)
+		rps := peakRPS * (lowFrac + (1-lowFrac)*tri)
+		pts[i] = RatePoint{At: sim.Time(float64(period) * frac), RPS: rps}
+	}
+	return NewLoadPattern(pts)
+}
+
+// Spike builds a flat base load with one overload window.
+func Spike(baseRPS, spikeRPS float64, spikeStart, spikeEnd sim.Time) (*LoadPattern, error) {
+	if spikeEnd <= spikeStart {
+		return nil, fmt.Errorf("workload: spike window [%v, %v) is empty", spikeStart, spikeEnd)
+	}
+	return NewLoadPattern([]RatePoint{
+		{At: 0, RPS: baseRPS},
+		{At: spikeStart, RPS: spikeRPS},
+		{At: spikeEnd, RPS: baseRPS},
+	})
+}
+
+// RateAt returns the scheduled rate at time t (the first point's rate
+// before the schedule starts).
+func (p *LoadPattern) RateAt(t sim.Time) float64 {
+	rate := p.points[0].RPS
+	for _, pt := range p.points {
+		if pt.At > t {
+			break
+		}
+		rate = pt.RPS
+	}
+	return rate
+}
+
+// Apply schedules the generator's rate changes on the engine. The
+// generator must be started separately.
+func (p *LoadPattern) Apply(e *sim.Engine, gen *Generator) {
+	gen.SetRPS(p.points[0].RPS)
+	for _, pt := range p.points {
+		pt := pt
+		e.At(pt.At, "workload.rate", func(*sim.Engine) { gen.SetRPS(pt.RPS) })
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"testing"
+
+	"retail/internal/sim"
+)
+
+func TestNewLoadPatternValidation(t *testing.T) {
+	if _, err := NewLoadPattern(nil); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if _, err := NewLoadPattern([]RatePoint{{At: 0, RPS: -1}}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	// Unsorted input is sorted.
+	p, err := NewLoadPattern([]RatePoint{{At: 5, RPS: 10}, {At: 1, RPS: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RateAt(2) != 20 || p.RateAt(6) != 10 {
+		t.Fatalf("sorting broken: %v/%v", p.RateAt(2), p.RateAt(6))
+	}
+	if p.RateAt(0) != 20 {
+		t.Fatal("pre-schedule rate should be the first point's")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	p, err := Diurnal(1000, 0.2, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := p.RateAt(0)
+	mid := p.RateAt(5)
+	end := p.RateAt(10)
+	if start > 250 || end > 250 {
+		t.Fatalf("edges not low: %v / %v", start, end)
+	}
+	if mid < 950 {
+		t.Fatalf("midday not at peak: %v", mid)
+	}
+	// Monotone up then down.
+	if p.RateAt(2) >= mid || p.RateAt(8) >= mid {
+		t.Fatal("shape not unimodal")
+	}
+	if _, err := Diurnal(100, 0, 10, 5); err == nil {
+		t.Fatal("lowFrac 0 accepted")
+	}
+	if _, err := Diurnal(100, 0.5, 10, 1); err == nil {
+		t.Fatal("single step accepted")
+	}
+}
+
+func TestSpikePattern(t *testing.T) {
+	p, err := Spike(100, 500, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RateAt(2) != 100 || p.RateAt(5) != 500 || p.RateAt(7) != 100 {
+		t.Fatalf("spike rates %v/%v/%v", p.RateAt(2), p.RateAt(5), p.RateAt(7))
+	}
+	if _, err := Spike(1, 2, 5, 5); err == nil {
+		t.Fatal("empty spike window accepted")
+	}
+}
+
+func TestPatternApplyDrivesGenerator(t *testing.T) {
+	e := sim.NewEngine()
+	counts := map[int]int{} // second → arrivals
+	app := NewMasstree()
+	gen := NewGenerator(app, 0, 3, func(en *sim.Engine, r *Request) {
+		counts[int(en.Now())]++
+	})
+	p, err := Spike(200, 2000, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Apply(e, gen)
+	gen.Start(e)
+	e.Run(5)
+	gen.Stop()
+	// Second 2 (the spike) sees ~10× second 1's arrivals.
+	if counts[2] < counts[1]*4 {
+		t.Fatalf("spike not visible: %v", counts)
+	}
+	if counts[4] > counts[2]/4 {
+		t.Fatalf("post-spike rate did not recover: %v", counts)
+	}
+}

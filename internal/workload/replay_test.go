@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"retail/internal/sim"
+	"retail/internal/stats"
+)
+
+func TestReplayAppValidation(t *testing.T) {
+	specs := []FeatureSpec{{Name: "x", Kind: Numerical}}
+	qos := QoS{Latency: 1, Percentile: 99}
+	if _, err := NewReplayApp("r", qos, specs, nil, 0.8); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := []ReplaySample{{Features: []float64{1, 2}, Service: 1}}
+	if _, err := NewReplayApp("r", qos, specs, bad, 0.8); err == nil {
+		t.Fatal("feature-width mismatch accepted")
+	}
+	neg := []ReplaySample{{Features: []float64{1}, Service: -1}}
+	if _, err := NewReplayApp("r", qos, specs, neg, 0.8); err == nil {
+		t.Fatal("negative service accepted")
+	}
+	ok := []ReplaySample{{Features: []float64{1}, Service: 1e-3}}
+	if _, err := NewReplayApp("r", qos, specs, ok, 2); err == nil {
+		t.Fatal("compute fraction 2 accepted")
+	}
+	app, err := NewReplayApp("r", qos, specs, ok, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Name() != "r" || app.Len() != 1 || len(app.FeatureSpecs()) != 1 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestReplayPreservesDistribution(t *testing.T) {
+	src := NewMoses()
+	samples := CaptureReplay(src, 4000, 1)
+	app, err := NewReplayApp("moses-replay", src.QoS(), src.FeatureSpecs(), samples, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var orig, rep []float64
+	for _, s := range samples {
+		orig = append(orig, float64(s.Service))
+	}
+	for i := 0; i < 4000; i++ {
+		rep = append(rep, float64(app.Generate(rng).ServiceBase))
+	}
+	for _, p := range []float64{50, 90, 99} {
+		a, b := stats.Percentile(orig, p), stats.Percentile(rep, p)
+		if b < a*0.9 || b > a*1.1 {
+			t.Fatalf("p%v: trace %v vs replay %v", p, a, b)
+		}
+	}
+	// Feature→latency correlation survives the round trip.
+	idx := FeatureIndex(src, "word_count")
+	var xs, ys []float64
+	for i := 0; i < 2000; i++ {
+		r := app.Generate(rng)
+		xs = append(xs, r.Features[idx])
+		ys = append(ys, float64(r.ServiceBase))
+	}
+	if rho, _ := stats.Pearson(xs, ys); rho < 0.95 {
+		t.Fatalf("replay correlation ρ = %v", rho)
+	}
+}
+
+func TestReplayGenerateCopiesFeatures(t *testing.T) {
+	specs := []FeatureSpec{{Name: "x", Kind: Numerical}}
+	samples := []ReplaySample{{Features: []float64{5}, Service: 1e-3}}
+	app, _ := NewReplayApp("r", QoS{Latency: 1, Percentile: 99}, specs, samples, 1)
+	rng := rand.New(rand.NewSource(1))
+	r := app.Generate(rng)
+	r.Features[0] = 99
+	if samples[0].Features[0] != 5 {
+		t.Fatal("Generate aliased trace storage")
+	}
+}
+
+func TestReplayCSVRoundTrip(t *testing.T) {
+	src := NewXapian()
+	samples := CaptureReplay(src, 50, 3)
+	var buf bytes.Buffer
+	if err := DumpReplayCSV(&buf, src.FeatureSpecs(), samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReplayCSV(&buf, src.FeatureSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("round trip lost samples: %d", len(got))
+	}
+	for i := range got {
+		if got[i].Service != samples[i].Service {
+			t.Fatalf("sample %d service %v vs %v", i, got[i].Service, samples[i].Service)
+		}
+		for j := range got[i].Features {
+			if got[i].Features[j] != samples[i].Features[j] {
+				t.Fatalf("sample %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadReplayCSVErrors(t *testing.T) {
+	specs := []FeatureSpec{{Name: "x", Kind: Numerical}}
+	cases := []string{
+		"",                         // no header
+		"service_s,y\n1e-3,2\n",    // wrong feature name
+		"service_s\n1e-3\n",        // missing feature column
+		"service_s,x\nnotanum,2\n", // bad service
+		"service_s,x\n1e-3,nope\n", // bad feature
+	}
+	for i, c := range cases {
+		if _, err := LoadReplayCSV(strings.NewReader(c), specs); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+	good := "service_s,x\n0.001,42\n"
+	got, err := LoadReplayCSV(strings.NewReader(good), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Service != sim.Duration(0.001) || got[0].Features[0] != 42 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
