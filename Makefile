@@ -1,0 +1,37 @@
+# ReTail reproduction — common developer entry points.
+#
+#   make build   compile every package and command
+#   make test    tier-1 test suite (what CI gates on)
+#   make race    full suite under the race detector
+#   make vet     static analysis
+#   make bench   telemetry hot-path + paper-table benchmarks
+#   make smoke   build-and-run every example and command briefly
+#   make check   build + vet + test (the pre-commit bundle)
+
+GO ?= go
+
+.PHONY: build test race vet bench smoke check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench 'Benchmark(Counter|Gauge|Histogram|Snapshot)' -benchmem -run '^$$' ./internal/telemetry ./
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .
+
+smoke:
+	$(GO) test -run TestSmoke -v .
+
+check: build vet test
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,7 @@
 // files, exactly as the paper's testbed does.
 //
 //	retail-live -app xapian -rps 150 -duration 5s
+//	retail-live -app xapian -metrics-addr :9090   # Prometheus /metrics + /healthz
 //	sudo retail-live -app xapian -sysfs -cores 2,3  # real DVFS (Linux)
 package main
 
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -20,26 +22,32 @@ import (
 	"retail/internal/core"
 	"retail/internal/cpu"
 	"retail/internal/live"
+	"retail/internal/telemetry"
 	"retail/internal/workload"
 )
 
 func main() {
 	var (
-		appName  = flag.String("app", "xapian", "application model")
-		rps      = flag.Float64("rps", 150, "client request rate")
-		duration = flag.Duration("duration", 5*time.Second, "load duration")
-		workers  = flag.Int("workers", 2, "worker goroutines")
-		scale    = flag.Float64("scale", 0.2, "time compression for the demo executor")
-		sysfs    = flag.Bool("sysfs", false, "drive real cpufreq files instead of the mock")
-		sysfsDir = flag.String("sysfs-root", "/sys/devices/system/cpu", "cpufreq root")
-		coresArg = flag.String("cores", "", "comma-separated physical cores for -sysfs")
+		appName     = flag.String("app", "xapian", "application model")
+		rps         = flag.Float64("rps", 150, "client request rate")
+		duration    = flag.Duration("duration", 5*time.Second, "load duration")
+		workers     = flag.Int("workers", 2, "worker goroutines")
+		scale       = flag.Float64("scale", 0.2, "time compression for the demo executor")
+		sysfs       = flag.Bool("sysfs", false, "drive real cpufreq files instead of the mock")
+		sysfsDir    = flag.String("sysfs-root", "/sys/devices/system/cpu", "cpufreq root")
+		coresArg    = flag.String("cores", "", "comma-separated physical cores for -sysfs")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. :9090)")
 	)
 	flag.Parse()
 
 	app := workload.ByName(*appName)
-	if app == nil {
-		log.Fatalf("unknown app %q", *appName)
+	cores, err := validateFlags(app, *appName, *rps, *duration, *workers, *scale, *sysfs, *coresArg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "retail-live: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
+
 	platform := core.DefaultPlatform().WithWorkers(*workers)
 	log.Printf("calibrating %s …", app.Name())
 	cal, err := core.Calibrate(app, platform, 1000, 1)
@@ -51,14 +59,6 @@ func main() {
 	mock := live.NewMockBackend(grid)
 	var backend live.Backend = mock
 	if *sysfs {
-		var cores []int
-		for _, c := range strings.Split(*coresArg, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(c))
-			if err != nil {
-				log.Fatalf("bad -cores: %v", err)
-			}
-			cores = append(cores, n)
-		}
 		b, err := live.NewSysfsBackend(grid, *sysfsDir, cores)
 		if err != nil {
 			log.Fatal(err)
@@ -67,6 +67,10 @@ func main() {
 		*scale = 1 // real hardware runs in real time
 	}
 
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
 	srv, err := live.NewServer(live.ServerConfig{
 		Addr:      "127.0.0.1:0",
 		Workers:   *workers,
@@ -74,12 +78,22 @@ func main() {
 		Predictor: scaled{cal.Model, *scale},
 		Backend:   backend,
 		Exec:      live.DemoExecutor(app, mock, *scale),
+		Metrics:   reg,
+		AppName:   app.Name(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv.Start()
 	defer srv.Close()
+	if reg != nil {
+		ms, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		log.Printf("metrics on http://%s/metrics (health: /healthz)", ms.Addr())
+	}
 	log.Printf("serving on %s; loading at %.0f RPS for %v", srv.Addr(), *rps, *duration)
 
 	res, err := live.RunClient(live.ClientConfig{
@@ -97,6 +111,53 @@ qos'        %v (target %v × scale %.2f)
 `, res.Sent, res.Completed, res.P50, res.P95, res.P99, res.Mean,
 		srv.Decisions(), mock.Writes(), srv.QoSPrime(),
 		time.Duration(float64(app.QoS().Latency)*1e9), *scale)
+}
+
+// validateFlags checks flag combinations up front so misconfiguration
+// produces a usable error instead of a mid-run failure (previously
+// -sysfs without -cores fell through to an Atoi failure on an empty
+// string). It returns the parsed core list for -sysfs.
+func validateFlags(app workload.App, appName string, rps float64, duration time.Duration, workers int, scale float64, sysfs bool, coresArg string) ([]int, error) {
+	if app == nil {
+		return nil, fmt.Errorf("unknown -app %q (try xapian, moses, …)", appName)
+	}
+	if rps <= 0 {
+		return nil, fmt.Errorf("-rps must be positive, got %g", rps)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("-duration must be positive, got %v", duration)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("-scale must be positive, got %g", scale)
+	}
+	coresArg = strings.TrimSpace(coresArg)
+	if !sysfs {
+		if coresArg != "" {
+			return nil, fmt.Errorf("-cores is only meaningful with -sysfs (the mock backend has no physical cores)")
+		}
+		return nil, nil
+	}
+	if coresArg == "" {
+		return nil, fmt.Errorf("-sysfs requires -cores: list the physical cores whose cpufreq files to drive, e.g. -cores 2,3")
+	}
+	var cores []int
+	for _, c := range strings.Split(coresArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil {
+			return nil, fmt.Errorf("bad -cores entry %q: need comma-separated integers, e.g. -cores 2,3", c)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("bad -cores entry %d: core indices are non-negative", n)
+		}
+		cores = append(cores, n)
+	}
+	if len(cores) < workers {
+		return nil, fmt.Errorf("-cores lists %d cores but -workers is %d: each worker needs its own core", len(cores), workers)
+	}
+	return cores, nil
 }
 
 type scaled struct {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"retail/internal/workload"
+)
+
+// TestValidateFlags pins the up-front flag validation: every
+// misconfiguration must fail before calibration with a message naming
+// the offending flag (previously -sysfs without -cores surfaced as an
+// Atoi error on an empty string mid-run).
+func TestValidateFlags(t *testing.T) {
+	app := workload.ByName("xapian")
+	ok := func(rps float64, dur time.Duration, workers int, scale float64, sysfs bool, cores string) ([]int, error) {
+		return validateFlags(app, "xapian", rps, dur, workers, scale, sysfs, cores)
+	}
+
+	cases := []struct {
+		name    string
+		run     func() ([]int, error)
+		wantErr string // substring; empty means must succeed
+		cores   []int
+	}{
+		{"defaults", func() ([]int, error) { return ok(150, time.Second, 2, 0.2, false, "") }, "", nil},
+		{"unknown app", func() ([]int, error) {
+			return validateFlags(nil, "nope", 150, time.Second, 2, 0.2, false, "")
+		}, `unknown -app "nope"`, nil},
+		{"zero rps", func() ([]int, error) { return ok(0, time.Second, 2, 0.2, false, "") }, "-rps", nil},
+		{"negative duration", func() ([]int, error) { return ok(150, -time.Second, 2, 0.2, false, "") }, "-duration", nil},
+		{"zero workers", func() ([]int, error) { return ok(150, time.Second, 0, 0.2, false, "") }, "-workers", nil},
+		{"zero scale", func() ([]int, error) { return ok(150, time.Second, 2, 0, false, "") }, "-scale", nil},
+		{"cores without sysfs", func() ([]int, error) { return ok(150, time.Second, 2, 0.2, false, "2,3") }, "-cores is only meaningful with -sysfs", nil},
+		{"sysfs without cores", func() ([]int, error) { return ok(150, time.Second, 2, 0.2, true, "") }, "-sysfs requires -cores", nil},
+		{"sysfs bad core entry", func() ([]int, error) { return ok(150, time.Second, 2, 0.2, true, "2,x") }, `bad -cores entry "x"`, nil},
+		{"sysfs negative core", func() ([]int, error) { return ok(150, time.Second, 2, 0.2, true, "2,-1") }, "non-negative", nil},
+		{"sysfs too few cores", func() ([]int, error) { return ok(150, time.Second, 3, 0.2, true, "2,3") }, "each worker needs its own core", nil},
+		{"sysfs ok", func() ([]int, error) { return ok(150, time.Second, 2, 0.2, true, " 2 , 3 ") }, "", []int{2, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cores, err := tc.run()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if len(tc.cores) != len(cores) {
+					t.Fatalf("cores = %v, want %v", cores, tc.cores)
+				}
+				for i := range tc.cores {
+					if cores[i] != tc.cores[i] {
+						t.Fatalf("cores = %v, want %v", cores, tc.cores)
+					}
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

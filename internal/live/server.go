@@ -11,6 +11,7 @@ import (
 
 	"retail/internal/cpu"
 	"retail/internal/predict"
+	"retail/internal/telemetry"
 	"retail/internal/workload"
 )
 
@@ -49,6 +50,13 @@ type ServerConfig struct {
 	Exec      Executor
 	// MonitorInterval for the QoS′ loop (0 = 100ms).
 	MonitorInterval time.Duration
+	// Metrics, when non-nil, receives the runtime's telemetry
+	// (wall-clock request histograms, queue depth, QoS′, frequency
+	// residency) under the telemetry.Metric* schema. Serve the
+	// registry's Handler to expose /metrics and /healthz.
+	Metrics *telemetry.Registry
+	// AppName labels the metrics (default "live").
+	AppName string
 }
 
 type queuedReq struct {
@@ -77,6 +85,7 @@ type Server struct {
 	stop chan struct{}
 
 	decisions uint64
+	metrics   *liveMetrics // nil when cfg.Metrics is nil
 }
 
 // NewServer validates the configuration and binds the listener.
@@ -102,6 +111,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wake = append(s.wake, make(chan struct{}, 1))
+	}
+	if cfg.Metrics != nil {
+		app := cfg.AppName
+		if app == "" {
+			app = "live"
+		}
+		s.metrics = newLiveMetrics(cfg.Metrics, app, s.grid, float64(cfg.QoS.Latency))
+		s.metrics.setQoSPrime(s.qosPrime)
 	}
 	return s, nil
 }
@@ -221,11 +238,22 @@ func (s *Server) enqueue(req Request, done chan Response) {
 		}
 	}
 	s.queues[best] = append(s.queues[best], q)
+	depth := s.queuedLocked()
 	s.mu.Unlock()
+	s.metrics.setQueueDepth(depth)
 	select {
 	case s.wake[best] <- struct{}{}:
 	default:
 	}
+}
+
+// queuedLocked sums waiting requests; callers hold s.mu.
+func (s *Server) queuedLocked() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
 }
 
 func (s *Server) worker(id int) {
@@ -237,7 +265,11 @@ func (s *Server) worker(id int) {
 			q = s.queues[id][0]
 			s.queues[id] = s.queues[id][1:]
 		}
+		depth := s.queuedLocked()
 		s.mu.Unlock()
+		if q != nil {
+			s.metrics.setQueueDepth(depth)
+		}
 		if q == nil {
 			select {
 			case <-s.wake[id]:
@@ -256,6 +288,7 @@ func (s *Server) worker(id int) {
 		s.cfg.Exec(q.req, lvl)
 		end := time.Now()
 		sojourn := end.Sub(time.Unix(0, q.req.GenNs))
+		s.metrics.observeCompletion(sojourn, end.Sub(start), lvl)
 		s.mu.Lock()
 		s.window = append(s.window, sojourn.Seconds())
 		if len(s.window) > 4096 {
@@ -281,6 +314,7 @@ func (s *Server) decide(id int, head *queuedReq) cpu.Level {
 	budget := s.qosPrime.Seconds()
 	s.decisions++
 	s.mu.Unlock()
+	s.metrics.incDecisions()
 
 	maxLvl := s.grid.MaxLevel()
 	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
@@ -338,7 +372,9 @@ func (s *Server) monitor() {
 				s.qosPrime = hi
 			}
 		}
+		qp := s.qosPrime
 		s.mu.Unlock()
+		s.metrics.setQoSPrime(qp)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"retail/internal/server"
 	"retail/internal/sim"
 	"retail/internal/stats"
+	"retail/internal/telemetry"
 	"retail/internal/workload"
 )
 
@@ -117,6 +118,11 @@ type ReTail struct {
 	qosPrimeTrace []TracePoint
 	rmseTrace     []TracePoint
 	collectTraces bool
+
+	// Registry-backed instruments (nil unless Instrument was called).
+	qosPrimeGauge   *telemetry.Gauge
+	retrainCounter  *telemetry.Counter
+	decisionCounter *telemetry.Counter
 }
 
 // TracePoint is a timestamped scalar for the timeline figures.
@@ -161,6 +167,26 @@ func (m *ReTail) Name() string { return "retail" }
 
 // EnableTraces turns on QoS′ and RMSE/QoS timeline recording (Fig 14).
 func (m *ReTail) EnableTraces() { m.collectTraces = true }
+
+// Instrument wires the manager's control-loop signals into a telemetry
+// registry under the given app label: the QoS′ gauge (updated every
+// monitor tick), the frequency-decision counter, the drift-event counter
+// (one per detected episode) and the completed-retrain counter. Combine
+// with server.AttachTelemetry for the per-request histograms; together
+// they expose the full paper §VI control loop.
+func (m *ReTail) Instrument(reg *telemetry.Registry, app string) {
+	appLabel := telemetry.L("app", app)
+	m.qosPrimeGauge = reg.Gauge(server.MetricQoSPrime,
+		"Internal latency target QoS' steered by the latency monitor.", appLabel)
+	m.qosPrimeGauge.Set(float64(m.qosPrime))
+	m.retrainCounter = reg.Counter(server.MetricRetrainsTotal,
+		"Drift-triggered model retrains that went live.", appLabel)
+	m.decisionCounter = reg.Counter(server.MetricDecisionsTotal,
+		"Algorithm 1 frequency decisions.", appLabel)
+	driftCounter := reg.Counter(server.MetricDriftTotal,
+		"Model-drift episodes detected (RMSE/QoS above baseline+threshold).", appLabel)
+	m.drift.OnDrift(driftCounter.Inc)
+}
 
 // Traces returns the recorded QoS′ and RMSE/QoS timelines.
 func (m *ReTail) Traces() (qosPrime, rmse []TracePoint) {
@@ -300,6 +326,9 @@ func (m *ReTail) monitorTick(e *sim.Engine) {
 			m.qosPrime = hi
 		}
 	}
+	if m.qosPrimeGauge != nil {
+		m.qosPrimeGauge.Set(float64(m.qosPrime))
+	}
 	if m.collectTraces {
 		m.qosPrimeTrace = append(m.qosPrimeTrace, TracePoint{e.Now(), float64(m.qosPrime)})
 		if cur, ok := m.drift.Current(); ok {
@@ -375,6 +404,9 @@ func (m *ReTail) decide(e *sim.Engine, w *server.Worker, head *workload.Request,
 	before := m.inferences
 	lvl := m.targetLevel(e, w, head, headProgress, extra)
 	m.decisions++
+	if m.decisionCounter != nil {
+		m.decisionCounter.Inc()
+	}
 	cost := sim.Duration(float64(m.inferences-before)) * m.cfg.InferenceCost
 	e.After(cost, "retail.setfreq", func(en *sim.Engine) {
 		// The head may have completed during the decision; the level is
@@ -461,6 +493,9 @@ func (m *ReTail) retrain(e *sim.Engine) {
 		}
 		m.model = nm
 		m.retrains++
+		if m.retrainCounter != nil {
+			m.retrainCounter.Inc()
+		}
 		m.drift.Reset()
 		// The healthy baseline may only improve: right after a drift the
 		// training rings still hold pre-drift samples, so the refit model

@@ -428,7 +428,19 @@ type DriftDetector struct {
 	errs []float64 // recent squared errors, ring
 	next int
 	full bool
+
+	// onDrift, when set, fires once per drift episode: the first time
+	// Drifted observes the threshold crossed since the last Reset.
+	// Telemetry hooks a drift-event counter here.
+	onDrift  func()
+	notified bool
 }
+
+// OnDrift registers fn to be called the first time Drifted crosses the
+// threshold after each Reset — one call per drift episode, not per
+// query. Used to wire a telemetry counter without coupling detection to
+// the metrics substrate.
+func (d *DriftDetector) OnDrift(fn func()) { d.onDrift = fn }
 
 // NewDriftDetector returns a detector with a window of the given size
 // (≤ 0 means 200 observations).
@@ -453,9 +465,11 @@ func (d *DriftDetector) SetBaseline(rmseOverQoS float64) {
 // whether one has been set.
 func (d *DriftDetector) Baseline() (float64, bool) { return d.baseline, d.baselineSet }
 
-// Reset clears the observation window (but keeps the baseline).
+// Reset clears the observation window (but keeps the baseline) and
+// re-arms the OnDrift notification.
 func (d *DriftDetector) Reset() {
 	d.next, d.full = 0, false
+	d.notified = false
 }
 
 // Observe records one (predicted, actual) service-time pair.
@@ -493,5 +507,12 @@ func (d *DriftDetector) Drifted() bool {
 		return false
 	}
 	cur, ok := d.Current()
-	return ok && cur-d.baseline > d.Threshold
+	drifted := ok && cur-d.baseline > d.Threshold
+	if drifted && !d.notified {
+		d.notified = true
+		if d.onDrift != nil {
+			d.onDrift()
+		}
+	}
+	return drifted
 }

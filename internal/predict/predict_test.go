@@ -351,6 +351,34 @@ func TestDriftDetector(t *testing.T) {
 	}
 }
 
+func TestDriftDetectorOnDriftFiresOncePerEpisode(t *testing.T) {
+	d := NewDriftDetector(10e-3, 0.05, 100)
+	d.SetBaseline(0.03)
+	fires := 0
+	d.OnDrift(func() { fires++ })
+	drive := func() {
+		for i := 0; i < 100; i++ {
+			d.Observe(5e-3, 6.5e-3) // RMSE/QoS 0.15 ≫ baseline+threshold
+		}
+	}
+	drive()
+	for i := 0; i < 5; i++ {
+		if !d.Drifted() {
+			t.Fatal("drift not detected")
+		}
+	}
+	if fires != 1 {
+		t.Fatalf("OnDrift fired %d times within one episode, want 1", fires)
+	}
+	// Reset (as a retrain does) re-arms the notification for the next
+	// episode.
+	d.Reset()
+	drive()
+	if !d.Drifted() || fires != 2 {
+		t.Fatalf("after reset: drifted=%v fires=%d, want true/2", d.Drifted(), fires)
+	}
+}
+
 func TestDriftDetectorNeedsBaselineAndData(t *testing.T) {
 	d := NewDriftDetector(1, 0.05, 100)
 	d.Observe(1, 2)

@@ -1,0 +1,43 @@
+package telemetry
+
+// The repo-wide metric name schema. Both runtimes — the discrete-event
+// simulator (internal/server.AttachTelemetry, virtual time) and the
+// wall-clock runtime (internal/live.Server) — record into these same
+// families, so dashboards, scrapers and tests read one schema regardless
+// of which runtime produced the data.
+//
+// Label scheme:
+//
+//	app   — application name (xapian, moses, …); on every series
+//	level — frequency level index, only on retail_freq_residency_total
+//
+// Durations are always seconds: virtual seconds in the simulator,
+// wall-clock seconds in internal/live.
+const (
+	// MetricRequestsTotal counts completed requests.
+	MetricRequestsTotal = "retail_requests_total"
+	// MetricDroppedTotal counts requests shed on arrival (load shedding).
+	MetricDroppedTotal = "retail_requests_dropped_total"
+	// MetricViolationsTotal counts completions whose sojourn exceeded QoS.
+	MetricViolationsTotal = "retail_qos_violations_total"
+	// MetricSojournSeconds is the end-to-end latency histogram (t3−t1).
+	MetricSojournSeconds = "retail_request_sojourn_seconds"
+	// MetricServiceSeconds is the service-time histogram (end−start).
+	MetricServiceSeconds = "retail_request_service_seconds"
+	// MetricSlackSeconds is the latency headroom histogram,
+	// max(QoS − sojourn, 0).
+	MetricSlackSeconds = "retail_request_slack_seconds"
+	// MetricQueueDepth gauges requests waiting (not running).
+	MetricQueueDepth = "retail_queue_depth"
+	// MetricFreqResidency counts completions per served frequency level.
+	MetricFreqResidency = "retail_freq_residency_total"
+	// MetricQoSPrime gauges the internal latency target QoS′ steered by
+	// the latency monitor (§VI-C).
+	MetricQoSPrime = "retail_qos_prime_seconds"
+	// MetricRetrainsTotal counts drift-triggered retrains that went live.
+	MetricRetrainsTotal = "retail_model_retrains_total"
+	// MetricDriftTotal counts detected model-drift episodes (§V-D).
+	MetricDriftTotal = "retail_model_drift_events_total"
+	// MetricDecisionsTotal counts Algorithm 1 frequency decisions.
+	MetricDecisionsTotal = "retail_freq_decisions_total"
+)

@@ -1,0 +1,64 @@
+// Smoke test: build every example and command, then execute each with a
+// tiny workload. This is the "does the repo still run end-to-end" gate —
+// it catches broken flag parsing, panics on startup and bit-rotted
+// example code that unit tests never touch. Skipped under -short.
+package main
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smokeTargets lists every main package with the arguments that give the
+// fastest meaningful run (measured well under 10 s each).
+var smokeTargets = []struct {
+	pkg  string // package path relative to the module root
+	args []string
+}{
+	{"./examples/quickstart", nil},
+	{"./examples/colocation", nil},
+	{"./examples/database", nil},
+	{"./examples/multitier", nil},
+	{"./examples/replay", nil},
+	{"./examples/websearch", nil},
+	{"./cmd/retail-sim", []string{"-workers", "4", "-duration", "2", "-samples", "200"}},
+	{"./cmd/retail-characterize", []string{"-quick"}},
+	{"./cmd/retail-bench", []string{"-list"}},
+	// Exercises the full wall-clock path including the Prometheus
+	// exposition server (bound to an ephemeral port).
+	{"./cmd/retail-live", []string{
+		"-rps", "200", "-duration", "500ms", "-metrics-addr", "127.0.0.1:0",
+	}},
+}
+
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds and runs every binary")
+	}
+	bindir := t.TempDir()
+	for _, tgt := range smokeTargets {
+		tgt := tgt
+		name := filepath.Base(tgt.pkg)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(bindir, name+"-"+filepath.Base(filepath.Dir(tgt.pkg)))
+			build := exec.Command("go", "build", "-o", bin, tgt.pkg)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build %s: %v\n%s", tgt.pkg, err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, bin, tgt.args...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", name, tgt.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", name)
+			}
+		})
+	}
+}
