@@ -5,12 +5,22 @@
 #   make race    full suite under the race detector
 #   make vet     static analysis
 #   make bench   telemetry hot-path + paper-table benchmarks
+#   make bench-check     hot-path micro-benchmarks once under -race (CI smoke)
+#   make bench-baseline  regenerate results/BENCH_sweep.json via cmd/benchjson
 #   make smoke   build-and-run every example and command briefly
 #   make check   build + vet + test (the pre-commit bundle)
 
 GO ?= go
 
-.PHONY: build test race vet bench smoke check clean
+# The hot-path micro-benchmarks tracked across PRs: the event loop
+# (freelist), Algorithm 1 decisions (prediction memo) and the sweep
+# runner. bench-check runs each exactly once under the race detector —
+# a correctness smoke, not a measurement; bench-baseline produces the
+# committed JSON trajectory from a real timed run.
+HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep)'
+HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments
+
+.PHONY: build test race vet bench bench-check bench-baseline smoke check clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +37,12 @@ vet:
 bench:
 	$(GO) test -bench 'Benchmark(Counter|Gauge|Histogram|Snapshot)' -benchmem -run '^$$' ./internal/telemetry ./
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' .
+
+bench-check:
+	$(GO) test -race -run '^$$' -bench $(HOT_BENCH) -benchtime=1x $(HOT_PKGS)
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench $(HOT_BENCH) -benchmem $(HOT_PKGS) | $(GO) run ./cmd/benchjson > results/BENCH_sweep.json
 
 smoke:
 	$(GO) test -run TestSmoke -v .

@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// baseline so the perf trajectory of the hot paths can be tracked across
+// PRs without diffing free-form benchmark text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > results/BENCH_sweep.json
+//
+// The emitted document maps benchmark name → {ns_per_op, bytes_per_op,
+// allocs_per_op}. The trailing "-N" GOMAXPROCS suffix is stripped so the
+// same baseline compares across machines with different core counts;
+// everything else about the name (including sub-benchmark paths such as
+// "/parallel=8") is preserved. Benchmarks that appear multiple times
+// (e.g. -count > 1, or Go's "#01" disambiguation collapsing to the same
+// stripped name) keep the last observation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// point is one benchmark's measurements. Bytes/allocs are -1 when the run
+// did not report them (no -benchmem and no b.ReportAllocs()).
+type point struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type baseline struct {
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]point `json:"benchmarks"`
+}
+
+// procSuffix matches the "-8" GOMAXPROCS tail Go appends to benchmark
+// names. Only the final segment is stripped, so "parallel=8" survives.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*baseline, error) {
+	out := &baseline{Benchmarks: map[string]point{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		p := point{BytesPerOp: -1, AllocsPerOp: -1}
+		var err error
+		if p.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		// Optional "X B/op  Y allocs/op" tail.
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				p.BytesPerOp = v
+			case "allocs/op":
+				p.AllocsPerOp = v
+			}
+		}
+		out.Benchmarks[name] = p
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sortedNames lists the parsed benchmark names in lexical order (JSON
+// maps already marshal with sorted keys; this is for diagnostics/tests).
+func sortedNames(b *baseline) []string {
+	names := make([]string, 0, len(b.Benchmarks))
+	for n := range b.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

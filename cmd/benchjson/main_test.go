@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: retail/internal/manager
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRetailDecide-8         	 2042682	       582.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRetailDecideColdMemo-8 	 1860000	       627.8 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSweepParallel/parallel=1-8  	      10	   4914329 ns/op	     768 B/op	       2 allocs/op
+BenchmarkNoMem-8                	 1000000	      1000 ns/op
+PASS
+ok  	retail/internal/manager	3.1s
+`
+
+func TestParse(t *testing.T) {
+	b, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Goos != "linux" || b.Goarch != "amd64" || !strings.Contains(b.CPU, "Xeon") {
+		t.Fatalf("header = %q/%q/%q", b.Goos, b.Goarch, b.CPU)
+	}
+	want := []string{
+		"BenchmarkNoMem",
+		"BenchmarkRetailDecide",
+		"BenchmarkRetailDecideColdMemo",
+		"BenchmarkSweepParallel/parallel=1",
+	}
+	got := sortedNames(b)
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+	d := b.Benchmarks["BenchmarkRetailDecide"]
+	if d.NsPerOp != 582.2 || d.BytesPerOp != 0 || d.AllocsPerOp != 0 {
+		t.Fatalf("decide = %+v", d)
+	}
+	p := b.Benchmarks["BenchmarkSweepParallel/parallel=1"]
+	if p.NsPerOp != 4914329 || p.BytesPerOp != 768 || p.AllocsPerOp != 2 {
+		t.Fatalf("parallel = %+v", p)
+	}
+	// ns/op-only lines keep the -1 "not reported" sentinel.
+	nm := b.Benchmarks["BenchmarkNoMem"]
+	if nm.NsPerOp != 1000 || nm.BytesPerOp != -1 || nm.AllocsPerOp != -1 {
+		t.Fatalf("nomem = %+v", nm)
+	}
+}

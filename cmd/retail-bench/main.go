@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -121,15 +122,20 @@ func allRunners() []runner {
 			}},
 		{"spike", "load-spike response: QoS′ collapse and recovery",
 			func(cfg experiments.Config, apps []string) (fmt.Stringer, error) {
-				app := "xapian"
-				if len(apps) > 0 {
-					app = apps[0]
+				if len(apps) == 0 {
+					apps = []string{"xapian"}
 				}
-				res, err := experiments.LoadSpike(cfg, app)
+				results, err := experiments.LoadSpikes(cfg, apps)
 				if err != nil {
 					return nil, err
 				}
-				return renderedWith{text: res.Render(), exp: map[string]experiments.CSVExportable{"spike_" + app: res}}, nil
+				var out strings.Builder
+				exp := map[string]experiments.CSVExportable{}
+				for i, res := range results {
+					out.WriteString(res.Render())
+					exp["spike_"+apps[i]] = res
+				}
+				return renderedWith{text: out.String(), exp: exp}, nil
 			}},
 		{"overhead", "§VII-F decision/transition overhead accounting",
 			func(cfg experiments.Config, apps []string) (fmt.Stringer, error) {
@@ -157,6 +163,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files into")
+		parallel = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -172,6 +179,7 @@ func main() {
 		cfg = experiments.Quick()
 	}
 	cfg.Seed = *seed
+	cfg.Parallel = *parallel
 
 	var apps []string
 	if *appsFlag != "" {
@@ -204,7 +212,14 @@ func main() {
 					exit = 1
 					continue
 				}
-				for name, e := range exp.exports() {
+				exports := exp.exports()
+				names := make([]string, 0, len(exports))
+				for name := range exports {
+					names = append(names, name)
+				}
+				sort.Strings(names) // deterministic "wrote ..." output order
+				for _, name := range names {
+					e := exports[name]
 					path := filepath.Join(*csvDir, name+".csv")
 					f, err := os.Create(path)
 					if err != nil {

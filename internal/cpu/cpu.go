@@ -178,7 +178,7 @@ type Core struct {
 
 	effective Level // frequency currently applied in hardware
 	target    Level // last requested level
-	pending   *sim.Event
+	pending   sim.EventRef
 
 	busy       bool
 	memStalled bool
@@ -265,23 +265,23 @@ func (c *Core) SetMemStalled(e *sim.Engine, stalled bool) {
 // previous one.
 func (c *Core) SetLevel(e *sim.Engine, lvl Level) {
 	lvl = c.grid.Clamp(lvl)
-	if lvl == c.target && c.pending == nil {
+	if lvl == c.target && !c.pending.Valid() {
 		return
 	}
 	if lvl == c.target {
 		return // pending transition already heading there
 	}
 	c.target = lvl
-	if c.pending != nil {
+	if c.pending.Valid() {
 		e.Cancel(c.pending)
-		c.pending = nil
+		c.pending = sim.EventRef{}
 	}
 	if lvl == c.effective {
 		return
 	}
 	delay := c.trans.Sample(c.rng)
 	c.pending = e.After(delay, "cpu.transition", func(en *sim.Engine) {
-		c.pending = nil
+		c.pending = sim.EventRef{}
 		c.advance(en.Now())
 		c.effective = c.target
 		c.transitions++
@@ -296,9 +296,9 @@ func (c *Core) SetLevel(e *sim.Engine, lvl Level) {
 // rarely enough that the latency is irrelevant.
 func (c *Core) SetLevelImmediate(e *sim.Engine, lvl Level) {
 	lvl = c.grid.Clamp(lvl)
-	if c.pending != nil {
+	if c.pending.Valid() {
 		e.Cancel(c.pending)
-		c.pending = nil
+		c.pending = sim.EventRef{}
 	}
 	c.advance(e.Now())
 	if lvl != c.effective {

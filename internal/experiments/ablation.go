@@ -116,17 +116,35 @@ func Ablation(cfg Config, appName string) (*AblationResult, error) {
 			return manager.NewReTail(app.QoS(), c)
 		},
 	}
+	// Canonical cell order: load-major, variant-minor. The variant
+	// constructors only read the shared calibration (Clone and FitLinear
+	// never mutate their source), so cells run concurrently.
+	var cells []SweepCell[*core.Result]
 	for _, lf := range cfg.Loads {
 		rps := maxLoad * lf
 		dur := cfg.runDuration(app, rps)
 		for _, name := range AblationVariants {
-			r, err := core.Run(core.RunConfig{
-				App: app, Platform: cfg.Platform, Manager: variants[name](),
-				RPS: rps, Warmup: dur / 5, Duration: dur, Seed: cfg.Seed,
+			mk := variants[name]
+			cells = append(cells, SweepCell[*core.Result]{
+				Label: fmt.Sprintf("%s/load=%.2f/%s", app.Name(), lf, name),
+				Run: func() (*core.Result, error) {
+					return core.Run(core.RunConfig{
+						App: app, Platform: cfg.Platform, Manager: mk(),
+						RPS: rps, Warmup: dur / 5, Duration: dur, Seed: cfg.Seed,
+					})
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	runs, err := RunSweep(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, lf := range cfg.Loads {
+		for _, name := range AblationVariants {
+			r := runs[idx]
+			idx++
 			res.Cells = append(res.Cells, AblationCell{
 				Variant: name, Load: lf,
 				PowerW: r.AvgPowerW, Tail: r.TailAtQoSPct, QoSMet: r.QoSMet, Drops: r.Dropped,

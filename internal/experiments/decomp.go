@@ -42,6 +42,9 @@ type Fig12Result struct {
 	Cells []Fig12Cell
 }
 
+// Fig12Mechanisms lists the four mechanisms in presentation order.
+var Fig12Mechanisms = []string{"coarse", "adrenaline", "nn-alg1", "lr-alg1"}
+
 // Fig12 runs the decomposition on one application (the paper plots Xapian
 // and Shore, the two that need application features).
 func Fig12(cfg Config, appName string) (*Fig12Result, error) {
@@ -70,6 +73,18 @@ func Fig12(cfg Config, appName string) (*Fig12Result, error) {
 		{"request+app", cal.Selection.Selected},
 	}
 
+	// Models for both feature spaces are trained up front (deterministic:
+	// seeded fits on the shared training set); the runs themselves then
+	// fan out as independent cells in canonical space-major, load-major,
+	// mechanism-minor order. Iterating Fig12Mechanisms (not a map) also
+	// pins the Cells slice — and hence the CSV export — to a stable order.
+	type cellKey struct {
+		space string
+		load  float64
+		mech  string
+	}
+	var keys []cellKey
+	var cells []SweepCell[*core.Result]
 	for _, space := range spaces {
 		layout := predict.FeatureLayout{Specs: app.FeatureSpecs(), Selected: space.selected}
 		lrModel, err := predict.FitLinear(cal.Training, layout, cfg.Platform.Grid.Levels())
@@ -104,20 +119,30 @@ func Fig12(cfg Config, appName string) (*Fig12Result, error) {
 		for _, lf := range cfg.Loads {
 			rps := maxLoad * lf
 			dur := cfg.runDuration(app, rps)
-			for mech, mk := range mechanisms {
-				r, err := core.Run(core.RunConfig{
-					App: app, Platform: cfg.Platform, Manager: mk(),
-					RPS: rps, Warmup: dur / 5, Duration: dur, Seed: cfg.Seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res.Cells = append(res.Cells, Fig12Cell{
-					FeatureSpace: space.name, Mechanism: mech, Load: lf,
-					PowerW: r.AvgPowerW, Tail: r.TailAtQoSPct, QoSMet: r.QoSMet,
+			for _, mech := range Fig12Mechanisms {
+				mk := mechanisms[mech]
+				keys = append(keys, cellKey{space.name, lf, mech})
+				cells = append(cells, SweepCell[*core.Result]{
+					Label: fmt.Sprintf("%s/%s/load=%.2f/%s", app.Name(), space.name, lf, mech),
+					Run: func() (*core.Result, error) {
+						return core.Run(core.RunConfig{
+							App: app, Platform: cfg.Platform, Manager: mk(),
+							RPS: rps, Warmup: dur / 5, Duration: dur, Seed: cfg.Seed,
+						})
+					},
 				})
 			}
 		}
+	}
+	runs, err := RunSweep(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range runs {
+		res.Cells = append(res.Cells, Fig12Cell{
+			FeatureSpace: keys[i].space, Mechanism: keys[i].mech, Load: keys[i].load,
+			PowerW: r.AvgPowerW, Tail: r.TailAtQoSPct, QoSMet: r.QoSMet,
+		})
 	}
 	return res, nil
 }
@@ -189,9 +214,8 @@ func (r *Fig12Result) Render() string {
 	}
 	header = append(header, "QoS")
 	t := &table{header: header}
-	order := []string{"coarse", "adrenaline", "nn-alg1", "lr-alg1"}
 	for _, space := range []string{"request-only", "request+app"} {
-		for _, mech := range order {
+		for _, mech := range Fig12Mechanisms {
 			row := []string{space, mech}
 			met := true
 			for _, l := range loadSet {

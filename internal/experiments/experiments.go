@@ -33,6 +33,13 @@ type Config struct {
 	Seed int64
 	// MaxDuration caps each measured run (0 = RecommendedDuration's own cap).
 	MaxDuration sim.Duration
+	// Parallel is the sweep worker count: how many independent simulation
+	// cells (app × load × manager combinations) run concurrently. 0 (the
+	// default) selects runtime.GOMAXPROCS(0); 1 forces the historical
+	// sequential loops. Results are merged in canonical cell order, so the
+	// value changes wall-clock time only — rendered tables and CSV exports
+	// are byte-identical at every setting.
+	Parallel int
 	// GeminiNN overrides Gemini's network structure (nil = the published
 	// 5×128, which is slow to train in a test setting).
 	GeminiNN *nn.Config

@@ -44,73 +44,95 @@ var tunedShapes = map[string][4]int{
 // held-out accuracy.
 func TableIV(cfg Config) (*TableIVResult, error) {
 	res := &TableIVResult{}
-	grid := cfg.Platform.Grid
+	// Each app's calibration + three model fits is one sweep cell. The
+	// accuracy columns are deterministic; the train/infer wall-times are
+	// host measurements and were never run-to-run stable, so concurrent
+	// cells only add to their existing jitter.
+	cells := make([]SweepCell[[]ModelRow], 0, 3)
 	for _, name := range []string{"xapian", "moses", "sphinx"} {
-		app := workload.ByName(name)
-		cal, err := core.Calibrate(app, cfg.Platform, cfg.SamplesPerLevel, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		// Held-out test samples at max frequency.
-		rng := rand.New(rand.NewSource(cfg.Seed + 1))
-		var test []predict.Sample
-		for i := 0; i < cfg.SamplesPerLevel; i++ {
-			r := app.Generate(rng)
-			test = append(test, predict.Sample{
-				Level:    grid.MaxLevel(),
-				Features: r.Features,
-				Service:  float64(r.ServiceAt(grid.MaxFreq(), grid.MaxFreq(), 1)),
-			})
-		}
-		inputs := cal.Selection.Selected
-		if len(inputs) == 0 {
-			inputs = []int{0}
-		}
-		qos := float64(app.QoS().Latency)
-
-		// LR.
-		lrRow, err := scoreModel(name, "LR",
-			fmt.Sprintf("%d features", len(inputs)),
-			cal.Model, cal.Model.TrainDuration, test, qos)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, lrRow)
-
-		// NN-G: Gemini's 5×128.
-		gcfg := nn.GeminiConfig(len(inputs))
-		if cfg.GeminiNN != nil {
-			gcfg = *cfg.GeminiNN
-			gcfg.InputDim = len(inputs)
-		}
-		nng, err := predict.FitNN(cal.Training, grid, gcfg, grid.MaxLevel(), inputs)
-		if err != nil {
-			return nil, err
-		}
-		row, err := scoreModel(name, "NN-G",
-			fmt.Sprintf("(%d, %d)", gcfg.HiddenLayers, gcfg.Neurons),
-			nng, nng.TrainDuration, test, qos)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
-
-		// NN-T: small hand-tuned structure.
-		shape := tunedShapes[name]
-		tcfg := nn.TunedConfig(len(inputs), shape[0], shape[1], shape[2], shape[3])
-		nnt, err := predict.FitNN(cal.Training, grid, tcfg, grid.MaxLevel(), inputs)
-		if err != nil {
-			return nil, err
-		}
-		row, err = scoreModel(name, "NN-T",
-			fmt.Sprintf("(%d, %d, %d, %d)", shape[0], shape[1], shape[2], shape[3]),
-			nnt, nnt.TrainDuration, test, qos)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		cells = append(cells, SweepCell[[]ModelRow]{
+			Label: "table4/" + name,
+			Run:   func() ([]ModelRow, error) { return tableIVApp(cfg, name) },
+		})
+	}
+	rows, err := RunSweep(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r...)
 	}
 	return res, nil
+}
+
+// tableIVApp fits and scores the three model classes for one application.
+func tableIVApp(cfg Config, name string) ([]ModelRow, error) {
+	grid := cfg.Platform.Grid
+	var out []ModelRow
+	app := workload.ByName(name)
+	cal, err := core.Calibrate(app, cfg.Platform, cfg.SamplesPerLevel, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Held-out test samples at max frequency.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var test []predict.Sample
+	for i := 0; i < cfg.SamplesPerLevel; i++ {
+		r := app.Generate(rng)
+		test = append(test, predict.Sample{
+			Level:    grid.MaxLevel(),
+			Features: r.Features,
+			Service:  float64(r.ServiceAt(grid.MaxFreq(), grid.MaxFreq(), 1)),
+		})
+	}
+	inputs := cal.Selection.Selected
+	if len(inputs) == 0 {
+		inputs = []int{0}
+	}
+	qos := float64(app.QoS().Latency)
+
+	// LR.
+	lrRow, err := scoreModel(name, "LR",
+		fmt.Sprintf("%d features", len(inputs)),
+		cal.Model, cal.Model.TrainDuration, test, qos)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, lrRow)
+
+	// NN-G: Gemini's 5×128.
+	gcfg := nn.GeminiConfig(len(inputs))
+	if cfg.GeminiNN != nil {
+		gcfg = *cfg.GeminiNN
+		gcfg.InputDim = len(inputs)
+	}
+	nng, err := predict.FitNN(cal.Training, grid, gcfg, grid.MaxLevel(), inputs)
+	if err != nil {
+		return nil, err
+	}
+	row, err := scoreModel(name, "NN-G",
+		fmt.Sprintf("(%d, %d)", gcfg.HiddenLayers, gcfg.Neurons),
+		nng, nng.TrainDuration, test, qos)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, row)
+
+	// NN-T: small hand-tuned structure.
+	shape := tunedShapes[name]
+	tcfg := nn.TunedConfig(len(inputs), shape[0], shape[1], shape[2], shape[3])
+	nnt, err := predict.FitNN(cal.Training, grid, tcfg, grid.MaxLevel(), inputs)
+	if err != nil {
+		return nil, err
+	}
+	row, err = scoreModel(name, "NN-T",
+		fmt.Sprintf("(%d, %d, %d, %d)", shape[0], shape[1], shape[2], shape[3]),
+		nnt, nnt.TrainDuration, test, qos)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, row)
+	return out, nil
 }
 
 func scoreModel(app, model, structure string, p predict.Predictor, trainTime time.Duration, test []predict.Sample, qos float64) (ModelRow, error) {
@@ -264,53 +286,68 @@ type Fig9Result struct {
 // Fig9 fits the LR model with growing training sets and reports held-out
 // R², showing convergence by N ≈ 1000 (and usually far earlier).
 func Fig9(cfg Config) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	// One sweep cell per application, merged back in the paper's app order.
+	var cells []SweepCell[Fig9App]
+	for _, app := range workload.All() {
+		cells = append(cells, SweepCell[Fig9App]{
+			Label: "fig9/" + app.Name(),
+			Run:   func() (Fig9App, error) { return fig9App(cfg, app) },
+		})
+	}
+	apps, err := RunSweep(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+	res.Apps = apps
+	return res, nil
+}
+
+// fig9App computes one application's convergence curve.
+func fig9App(cfg Config, app workload.App) (Fig9App, error) {
 	grid := cfg.Platform.Grid
 	sizes := []int{25, 50, 100, 200, 400, 1000}
-	res := &Fig9Result{}
-	for _, app := range workload.All() {
-		cal, err := core.Calibrate(app, cfg.Platform, 64, cfg.Seed)
-		if err != nil {
-			return nil, err
+	cal, err := core.Calibrate(app, cfg.Platform, 64, cfg.Seed)
+	if err != nil {
+		return Fig9App{}, err
+	}
+	layout := cal.Layout
+	// Held-out evaluation set at two levels.
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	var test []predict.Sample
+	for i := 0; i < 500; i++ {
+		r := app.Generate(rng)
+		for _, lvl := range []cpu.Level{0, grid.MaxLevel()} {
+			test = append(test, predict.Sample{
+				Level: lvl, Features: r.Features,
+				Service: float64(r.ServiceAt(grid.Freq(lvl), grid.MaxFreq(), 1)),
+			})
 		}
-		layout := cal.Layout
-		// Held-out evaluation set at two levels.
-		rng := rand.New(rand.NewSource(cfg.Seed + 7))
-		var test []predict.Sample
-		for i := 0; i < 500; i++ {
-			r := app.Generate(rng)
-			for _, lvl := range []cpu.Level{0, grid.MaxLevel()} {
-				test = append(test, predict.Sample{
+	}
+	fa := Fig9App{App: app.Name()}
+	for _, n := range sizes {
+		set := predict.NewTrainingSet(n)
+		trng := rand.New(rand.NewSource(cfg.Seed + 13))
+		for lvl := cpu.Level(0); int(lvl) < grid.Levels(); lvl++ {
+			for i := 0; i < n; i++ {
+				r := app.Generate(trng)
+				set.Add(predict.Sample{
 					Level: lvl, Features: r.Features,
 					Service: float64(r.ServiceAt(grid.Freq(lvl), grid.MaxFreq(), 1)),
 				})
 			}
 		}
-		fa := Fig9App{App: app.Name()}
-		for _, n := range sizes {
-			set := predict.NewTrainingSet(n)
-			trng := rand.New(rand.NewSource(cfg.Seed + 13))
-			for lvl := cpu.Level(0); int(lvl) < grid.Levels(); lvl++ {
-				for i := 0; i < n; i++ {
-					r := app.Generate(trng)
-					set.Add(predict.Sample{
-						Level: lvl, Features: r.Features,
-						Service: float64(r.ServiceAt(grid.Freq(lvl), grid.MaxFreq(), 1)),
-					})
-				}
-			}
-			m, err := predict.FitLinear(set, layout, grid.Levels())
-			if err != nil {
-				return nil, err
-			}
-			met, err := predict.Evaluate(m, test)
-			if err != nil {
-				return nil, err
-			}
-			fa.Points = append(fa.Points, Fig9Point{N: n, R2: met.R2})
+		m, err := predict.FitLinear(set, layout, grid.Levels())
+		if err != nil {
+			return Fig9App{}, err
 		}
-		res.Apps = append(res.Apps, fa)
+		met, err := predict.Evaluate(m, test)
+		if err != nil {
+			return Fig9App{}, err
+		}
+		fa.Points = append(fa.Points, Fig9Point{N: n, R2: met.R2})
 	}
-	return res, nil
+	return fa, nil
 }
 
 // Render prints R² convergence per app.

@@ -51,16 +51,27 @@ func Fig11(cfg Config, appNames []string) (*Fig11Result, error) {
 	if appNames == nil {
 		appNames = AppNames()
 	}
-	res := &Fig11Result{}
+	// Two levels of fan-out: one cell per app (whose calibration and
+	// Gemini NN training dominate the wall clock), and inside each app a
+	// second sweep over (load × manager) runs. Both merge in canonical
+	// order, so the result is independent of scheduling.
+	cells := make([]SweepCell[*Fig11App], 0, len(appNames))
 	for _, name := range appNames {
 		app := workload.ByName(name)
 		if app == nil {
 			return nil, fmt.Errorf("experiments: unknown app %q", name)
 		}
-		fa, err := fig11App(cfg, app)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", name, err)
-		}
+		cells = append(cells, SweepCell[*Fig11App]{
+			Label: "fig11/" + name,
+			Run:   func() (*Fig11App, error) { return fig11App(cfg, app) },
+		})
+	}
+	fas, err := RunSweep(cfg.Parallel, cells)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	res := &Fig11Result{}
+	for _, fa := range fas {
 		res.Apps = append(res.Apps, *fa)
 	}
 	return res, nil
@@ -78,41 +89,69 @@ func fig11App(cfg Config, app workload.App) (*Fig11App, error) {
 	if err != nil {
 		return nil, err
 	}
-	managers := func() map[string]manager.Manager {
-		// Fresh manager state per run; Gemini's trained network is reused
-		// (training it is the expensive part and it is immutable).
-		return map[string]manager.Manager{
-			"rubik":  cal.NewRubik(),
-			"gemini": manager.NewGemini(app.QoS(), app.FeatureSpecs(), gem.Config()),
-			"retail": cal.NewReTail(),
+	// Fresh manager state per run; Gemini's trained network is reused
+	// (training it is the expensive part and it is immutable). The
+	// constructors only read the shared calibration, so cells can call
+	// them concurrently.
+	newManager := func(name string) manager.Manager {
+		switch name {
+		case "rubik":
+			return cal.NewRubik()
+		case "gemini":
+			return manager.NewGemini(app.QoS(), app.FeatureSpecs(), gem.Config())
+		case "retail":
+			return cal.NewReTail()
+		default:
+			return manager.NewMaxFreq()
 		}
 	}
 
-	var sumRubik, sumGemini float64
+	// Canonical cell order: load-major, manager-minor. Every cell is an
+	// independent simulation sharing only the read-only calibration.
+	cellManagers := append([]string{"maxfreq"}, ManagerNames...)
+	var cells []SweepCell[*core.Result]
 	for _, lf := range cfg.Loads {
+		lf := lf
 		rps := maxLoad * lf
 		dur := cfg.runDuration(app, rps)
+		lastLoad := lf == cfg.Loads[len(cfg.Loads)-1]
+		for _, mname := range cellManagers {
+			mname := mname
+			cells = append(cells, SweepCell[*core.Result]{
+				Label: fmt.Sprintf("%s/load=%.2f/%s", app.Name(), lf, mname),
+				Run: func() (*core.Result, error) {
+					return core.Run(core.RunConfig{App: app, Platform: cfg.Platform,
+						Manager: newManager(mname), RPS: rps, Warmup: dur / 5, Duration: dur,
+						Seed:           cfg.Seed,
+						CollectSamples: lastLoad && mname != "maxfreq"})
+				},
+			})
+		}
+	}
+	runs, err := RunSweep(cfg.Parallel, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge in the same canonical order the cells were laid out in.
+	var sumRubik, sumGemini float64
+	idx := 0
+	for _, lf := range cfg.Loads {
 		pt := Fig11Point{
-			Load: lf, RPS: rps,
+			Load: lf, RPS: maxLoad * lf,
 			PowerW:   map[string]float64{},
 			DropRate: map[string]float64{},
 			Tail:     map[string]float64{},
 			MeanLat:  map[string]float64{},
 			QoSMet:   map[string]bool{},
 		}
-		mx, err := core.Run(core.RunConfig{App: app, Platform: cfg.Platform,
-			Manager: manager.NewMaxFreq(), RPS: rps, Warmup: dur / 5, Duration: dur, Seed: cfg.Seed})
-		if err != nil {
-			return nil, err
-		}
-		pt.MaxFreqW = mx.AvgPowerW
 		lastLoad := lf == cfg.Loads[len(cfg.Loads)-1]
-		for mname, m := range managers() {
-			r, err := core.Run(core.RunConfig{App: app, Platform: cfg.Platform,
-				Manager: m, RPS: rps, Warmup: dur / 5, Duration: dur, Seed: cfg.Seed,
-				CollectSamples: lastLoad})
-			if err != nil {
-				return nil, err
+		for _, mname := range cellManagers {
+			r := runs[idx]
+			idx++
+			if mname == "maxfreq" {
+				pt.MaxFreqW = r.AvgPowerW
+				continue
 			}
 			pt.PowerW[mname] = r.AvgPowerW
 			pt.DropRate[mname] = r.DropRate()

@@ -34,6 +34,21 @@ type LoadSpikeResult struct {
 	PostSpikeTailOK bool
 }
 
+// LoadSpikes runs the spike scenario for several applications as one
+// sweep: each app's calibration and simulation is an independent cell, so
+// the scenarios run concurrently under Config.Parallel while the results
+// come back in the given app order.
+func LoadSpikes(cfg Config, appNames []string) ([]*LoadSpikeResult, error) {
+	cells := make([]SweepCell[*LoadSpikeResult], 0, len(appNames))
+	for _, name := range appNames {
+		cells = append(cells, SweepCell[*LoadSpikeResult]{
+			Label: "spike/" + name,
+			Run:   func() (*LoadSpikeResult, error) { return LoadSpike(cfg, name) },
+		})
+	}
+	return RunSweep(cfg.Parallel, cells)
+}
+
 // LoadSpike runs the spike scenario for one application.
 func LoadSpike(cfg Config, appName string) (*LoadSpikeResult, error) {
 	app := workload.ByName(appName)

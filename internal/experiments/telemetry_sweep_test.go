@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"retail/internal/core"
+	"retail/internal/server"
+	"retail/internal/sim"
+	"retail/internal/telemetry"
+	"retail/internal/workload"
+)
+
+// TestConcurrentInstrumentedCells guards the sweep-runner telemetry rule:
+// when cells run concurrently, each must build its own telemetry.Registry
+// (or none). Sharing a registry across cells would fan concurrent
+// Instrument/AttachTelemetry calls and metric updates into one instrument
+// set; per-cell registries keep every cell's control loop isolated. The
+// test runs two fully instrumented simulations in one RunSweep worker pool
+// and is primarily meaningful under -race: any cross-cell sharing of
+// mutable manager/server/telemetry state shows up as a data race. It also
+// pins determinism — both cells run the same seeded scenario, so their
+// Prometheus expositions must be byte-identical.
+func TestConcurrentInstrumentedCells(t *testing.T) {
+	cfg := quickCfg()
+	app := workload.ByName("xapian")
+	cal, err := core.Calibrate(app, cfg.Platform, cfg.SamplesPerLevel, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rps := core.CalibrateMaxLoad(app, cfg.Platform, cfg.Seed) * 0.5
+
+	// One cell = one registry + one instrumented manager + one server. The
+	// only state shared between the two cells is the read-only calibration.
+	runCell := func() (string, error) {
+		reg := telemetry.NewRegistry()
+		rt := cal.NewReTail()
+		e := sim.NewEngine()
+		srv := serverFor(cfg.Platform, app, cfg.Seed)
+		rt.Attach(e, srv)
+		rt.Instrument(reg, app.Name())
+		server.AttachTelemetry(srv, reg, app.Name(), app.QoS())
+		gen := workload.NewGenerator(app, rps, cfg.Seed+7, srv.Submit)
+		gen.Start(e)
+		e.Run(2.0)
+		gen.Stop()
+		var buf bytes.Buffer
+		if err := reg.WriteText(&buf); err != nil {
+			return "", err
+		}
+		return buf.String(), nil
+	}
+
+	cells := []SweepCell[string]{
+		{Label: "telemetry-cell-0", Run: runCell},
+		{Label: "telemetry-cell-1", Run: runCell},
+	}
+	got, err := RunSweep(2, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, text := range got {
+		for _, metric := range []string{
+			telemetry.MetricRequestsTotal,
+			telemetry.MetricDecisionsTotal,
+			telemetry.MetricQoSPrime,
+		} {
+			if !strings.Contains(text, metric) {
+				t.Fatalf("cell %d exposition is missing %s:\n%s", i, metric, text)
+			}
+		}
+	}
+	if got[0] != got[1] {
+		t.Fatal("identically seeded instrumented cells diverged")
+	}
+}

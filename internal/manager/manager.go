@@ -28,14 +28,24 @@ type Manager interface {
 // request features (Gemini, Adrenaline) pass requestOnly=true to zero all
 // application features regardless of readiness.
 func ObservableFeatures(specs []workload.FeatureSpec, r *workload.Request, ready, requestOnly bool) []float64 {
-	out := make([]float64, len(r.Features))
-	copy(out, r.Features)
-	for j, s := range specs {
-		if s.Lateness > 0 && (requestOnly || !ready) {
-			out[j] = 0
+	return AppendObservableFeatures(make([]float64, 0, len(r.Features)), specs, r, ready, requestOnly)
+}
+
+// AppendObservableFeatures is the allocation-free variant of
+// ObservableFeatures: it overwrites dst (resliced to length zero, grown
+// only if capacity is insufficient) with the observable feature vector and
+// returns it. Hot paths keep a scratch buffer and pass it as dst so one
+// decision performs no per-feature-vector allocations.
+func AppendObservableFeatures(dst []float64, specs []workload.FeatureSpec, r *workload.Request, ready, requestOnly bool) []float64 {
+	dst = append(dst[:0], r.Features...)
+	if requestOnly || !ready {
+		for j, s := range specs {
+			if s.Lateness > 0 {
+				dst[j] = 0
+			}
 		}
 	}
-	return out
+	return dst
 }
 
 // readiness tracks which requests have completed stage-1 feature

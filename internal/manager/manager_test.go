@@ -52,7 +52,7 @@ type testRig struct {
 	mdl  *predict.LinearModel
 }
 
-func newRig(t *testing.T, app varApp, workers int) *testRig {
+func newRig(t testing.TB, app varApp, workers int) *testRig {
 	t.Helper()
 	g := cpu.DefaultGrid()
 	srv := server.New(server.Config{

@@ -1,0 +1,60 @@
+package manager
+
+import (
+	"testing"
+
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+// benchDecideRig builds a single-worker server with a running head request
+// and several queued requests, the state Algorithm 1 sees on every Arrival
+// re-examination — the hottest call in a full sweep.
+func benchDecideRig(b *testing.B, queued int) (*testRig, *ReTail) {
+	b.Helper()
+	app := varApp{base: 10e-3, slope: 1e-3, spread: 20, qos: workload.QoS{Latency: 60e-3, Percentile: 99}}
+	rig := newRig(b, app, 1)
+	m := NewReTail(app.QoS(), rig.retailConfig())
+	m.Attach(rig.e, rig.srv)
+	rig.e.At(0, "sub", func(*sim.Engine) {
+		for i := 0; i <= queued; i++ {
+			rig.submit(float64(i % rig.app.spread))
+		}
+	})
+	// Advance just far enough that the head is executing and the queue is
+	// populated, but nothing has completed.
+	rig.e.Run(1e-4)
+	if rig.srv.Workers()[0].Current() == nil {
+		b.Fatal("no head request")
+	}
+	return rig, m
+}
+
+// BenchmarkRetailDecide measures Algorithm 1 (targetLevel) over a warm
+// prediction memo: the steady state when the same pipeline is re-examined
+// on every arrival/ready event.
+func BenchmarkRetailDecide(b *testing.B) {
+	rig, m := benchDecideRig(b, 8)
+	w := rig.srv.Workers()[0]
+	head := w.Current()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.targetLevel(rig.e, w, head, 0.25, nil)
+	}
+}
+
+// BenchmarkRetailDecideColdMemo invalidates the prediction memo every
+// iteration (as a retrain would), so each decision rebuilds features and
+// re-runs the model: the worst case for the decision path.
+func BenchmarkRetailDecideColdMemo(b *testing.B) {
+	rig, m := benchDecideRig(b, 8)
+	w := rig.srv.Workers()[0]
+	head := w.Current()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.invalidatePredictions()
+		m.targetLevel(rig.e, w, head, 0.25, nil)
+	}
+}

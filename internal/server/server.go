@@ -168,16 +168,24 @@ func (s *Server) pick() *Worker {
 		s.rrNext = (s.rrNext + 1) % len(s.workers)
 		return w
 	}
-	best := s.workers[s.rrNext]
-	bestLoad := best.Outstanding()
-	for i := 1; i < len(s.workers); i++ {
-		idx := (s.rrNext + i) % len(s.workers)
+	// JSQ with rotating tie-break: the scan starts just past the previously
+	// chosen worker, and ties go to the first worker scanned. The rotation
+	// pointer must advance relative to the *chosen* index — advancing it
+	// blindly by one lets the scan start and the chosen worker drift apart,
+	// which parks the tie-break on a fixed subset of workers (with one
+	// worker busy and the rest tied, two thirds of the traffic landed on a
+	// single idle worker instead of spreading evenly).
+	n := len(s.workers)
+	bestIdx := s.rrNext
+	bestLoad := s.workers[bestIdx].Outstanding()
+	for i := 1; i < n; i++ {
+		idx := (s.rrNext + i) % n
 		if l := s.workers[idx].Outstanding(); l < bestLoad {
-			best, bestLoad = s.workers[idx], l
+			bestIdx, bestLoad = idx, l
 		}
 	}
-	s.rrNext = (s.rrNext + 1) % len(s.workers)
-	return best
+	s.rrNext = (bestIdx + 1) % n
+	return s.workers[bestIdx]
 }
 
 // QueuedTotal returns the number of requests waiting (not running) across
@@ -220,8 +228,8 @@ type exec struct {
 	// in effect since lastT, so progress earned before a change is credited
 	// at the old rate.
 	curDur       sim.Duration
-	readyEv      *sim.Event
-	completionEv *sim.Event
+	readyEv      sim.EventRef
+	completionEv sim.EventRef
 }
 
 // Core returns the worker's pinned core.
@@ -380,9 +388,7 @@ func (w *Worker) rescheduleCompletion(e *sim.Engine) {
 	if c == nil {
 		return
 	}
-	if c.completionEv != nil {
-		e.Cancel(c.completionEv)
-	}
+	e.Cancel(c.completionEv) // no-op on the zero ref or an already-fired event
 	c.curDur = w.stage2Duration()
 	remaining := sim.Duration((1 - c.progress) * float64(c.curDur))
 	if c.interruptUntil > e.Now() {
@@ -405,9 +411,10 @@ func (w *Worker) onFreqChange(e *sim.Engine) {
 func (w *Worker) complete(e *sim.Engine) {
 	c := w.current
 	r := c.req
-	if c.readyEv != nil {
-		e.Cancel(c.readyEv)
-	}
+	// readyEv may have fired long ago; Cancel on a stale ref is a safe
+	// no-op (the event node may since have been recycled for another
+	// event — the generation stamp guarantees we can't touch it).
+	e.Cancel(c.readyEv)
 	w.current = nil
 	r.End = e.Now()
 	r.ServedLevel = int(w.core.EffectiveLevel())

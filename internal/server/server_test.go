@@ -502,3 +502,57 @@ func TestWorkerDelayZeroOrNegativeIgnored(t *testing.T) {
 		t.Fatalf("end = %v, want 5ms", end)
 	}
 }
+
+// dispatchRecorder counts how many requests start service on each worker.
+type dispatchRecorder struct {
+	NoopHooks
+	counts map[*Worker]int
+}
+
+func (d *dispatchRecorder) Start(_ *sim.Engine, w *Worker, _ *workload.Request) {
+	d.counts[w]++
+}
+
+// TestJSQTieBreakIsFair is the regression test for the dispatch-bias bug:
+// pick's JSQ scan starts at the rotation pointer and ties go to the first
+// worker scanned, but the pointer used to advance by one per submit
+// regardless of which worker was chosen. With worker 0 held busy and
+// workers 1 and 2 permanently tied at zero outstanding, the stale pointer
+// parked two thirds of the traffic on worker 1. The fix advances the
+// pointer past the *chosen* worker, which makes tied workers alternate.
+func TestJSQTieBreakIsFair(t *testing.T) {
+	app := fixedApp{service: sim.Millisecond, cf: 1}
+	s := newServer(t, app, 3, nil)
+	rec := &dispatchRecorder{counts: map[*Worker]int{}}
+	s.Hooks = rec
+	e := sim.NewEngine()
+
+	// Pin worker 0 with a request that outlives the whole test.
+	long := mkReq(100, 1)
+	e.At(0, "submit-long", func(en *sim.Engine) { long.Gen = en.Now(); s.Submit(en, long) })
+
+	// Short requests spaced far enough apart that each completes before the
+	// next arrives: workers 1 and 2 are tied at zero outstanding for every
+	// single dispatch decision.
+	const shorts = 300
+	for i := 0; i < shorts; i++ {
+		r := mkReq(sim.Millisecond, 1)
+		e.At(sim.Time(i+1)*0.01, "submit-short", func(en *sim.Engine) {
+			r.Gen = en.Now()
+			s.Submit(en, r)
+		})
+	}
+	e.RunAll()
+
+	ws := s.Workers()
+	if got := rec.counts[ws[0]]; got != 1 {
+		t.Fatalf("busy worker 0 served %d requests, want only the pinned one", got)
+	}
+	c1, c2 := rec.counts[ws[1]], rec.counts[ws[2]]
+	if c1+c2 != shorts {
+		t.Fatalf("tied workers served %d+%d, want %d total", c1, c2, shorts)
+	}
+	if diff := c1 - c2; diff < -2 || diff > 2 {
+		t.Fatalf("tie-break bias: worker1=%d worker2=%d (want an even split)", c1, c2)
+	}
+}

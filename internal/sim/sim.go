@@ -58,17 +58,45 @@ func (t Time) String() string {
 
 // Event is a scheduled callback. The callback receives the engine so it can
 // schedule further events.
+//
+// Event nodes are pooled: once an event has fired or been cancelled, the
+// engine recycles the node for a later At/After call. Callers therefore
+// never hold *Event directly — At and After return an EventRef, a
+// generation-stamped handle that stays safe (Cancel becomes a no-op,
+// Cancelled reports false) after the node has been reused.
 type Event struct {
 	At   Time
 	Do   func(*Engine)
 	Name string // optional label for tracing
 
 	seq   uint64
-	index int // heap index; -1 once popped or cancelled
+	index int // heap index; -1 once popped, -2 once cancelled
+	gen   uint64
 }
 
-// Cancelled reports whether the event was removed before firing.
-func (e *Event) Cancelled() bool { return e.index == -2 }
+// EventRef is a handle to one scheduled instance of an event. The zero
+// EventRef is valid: Cancel is a no-op and Cancelled reports false.
+//
+// Because event nodes are recycled, a ref becomes stale once the engine
+// reuses its node for a new event; a stale ref's Cancel is a guaranteed
+// no-op (it can never cancel the new instance) and its Cancelled reports
+// false.
+type EventRef struct {
+	ev  *Event
+	gen uint64
+}
+
+// Valid reports whether the ref points at an event node (zero refs do not).
+// It does not say whether the event is still pending.
+func (r EventRef) Valid() bool { return r.ev != nil }
+
+// Cancelled reports whether this scheduled instance was removed before
+// firing. It is exact until the engine recycles the node (cancelled nodes
+// are reused by later At/After calls), so check it promptly after Cancel
+// rather than arbitrarily later; a recycled node's old refs report false.
+func (r EventRef) Cancelled() bool {
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.index == -2
+}
 
 type eventHeap []*Event
 
@@ -107,6 +135,14 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 
+	// free is the event-node freelist. A full run schedules millions of
+	// events (arrivals, stage-1 interrupts, completion reschedules,
+	// deferred frequency writes); recycling nodes on fire and on cancel
+	// keeps the inner loop off the allocator. Determinism is unaffected:
+	// ordering is (At, seq) and seq always comes fresh from the engine
+	// counter, never from the recycled node.
+	free []*Event
+
 	// Trace, when non-nil, is called for every event fired.
 	Trace func(at Time, name string)
 }
@@ -127,34 +163,48 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules fn to run at absolute time at. Scheduling in the past (or at
 // the present instant) fires the event at the current time but after all
-// currently pending events at that time. It returns the event so the caller
-// can cancel it.
-func (e *Engine) At(at Time, name string, fn func(*Engine)) *Event {
+// currently pending events at that time. It returns a ref so the caller
+// can cancel the event.
+func (e *Engine) At(at Time, name string, fn func(*Engine)) EventRef {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{At: at, Do: fn, Name: name, seq: e.seq}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.gen++ // invalidate refs to the node's previous life
+	} else {
+		ev = &Event{}
+	}
+	ev.At, ev.Do, ev.Name, ev.seq = at, fn, name, e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Duration, name string, fn func(*Engine)) *Event {
+func (e *Engine) After(d Duration, name string, fn func(*Engine)) EventRef {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, name, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a scheduled event. Cancelling a zero ref, an
+// already-fired, an already-cancelled, or a stale (recycled-node) ref is a
+// no-op — a ref can only ever cancel the exact instance it was created
+// for.
+func (e *Engine) Cancel(ref EventRef) {
+	ev := ref.ev
+	if ev == nil || ev.gen != ref.gen || ev.index < 0 {
 		return
 	}
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -2
+	ev.Do, ev.Name = nil, "" // drop closure references for GC
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run return after the current event completes.
@@ -177,7 +227,13 @@ func (e *Engine) Run(until Time) Time {
 		if e.Trace != nil {
 			e.Trace(e.now, next.Name)
 		}
-		next.Do(e)
+		do := next.Do
+		// Recycle before running the callback: a nested After can reuse
+		// the still-hot node immediately. Refs to the fired instance stay
+		// safe via the generation stamp.
+		next.Do, next.Name = nil, ""
+		e.free = append(e.free, next)
+		do(e)
 	}
 	if e.now < until && !e.stopped && !math.IsInf(float64(until), 1) {
 		e.now = until

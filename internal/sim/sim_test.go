@@ -92,15 +92,118 @@ func TestEngineCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double-cancel and cancel-nil must not panic.
+	// Double-cancel and cancelling the zero ref must not panic.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(EventRef{})
+}
+
+// TestCancelFireRecancelSemantics pins the exact disposition contract the
+// event pool must preserve: fire → Cancelled()==false and Cancel is a
+// no-op; cancel → Cancelled()==true and re-cancel is a no-op; and a stale
+// ref whose node has been recycled for a new event can never cancel that
+// new event.
+func TestCancelFireRecancelSemantics(t *testing.T) {
+	e := NewEngine()
+
+	// Fired event: not cancelled, cancel-after-fire is a no-op.
+	firedCount := 0
+	fired := e.At(1, "fired", func(*Engine) { firedCount++ })
+	e.RunAll()
+	if firedCount != 1 {
+		t.Fatalf("fired %d times, want 1", firedCount)
+	}
+	if fired.Cancelled() {
+		t.Fatal("fired event reports Cancelled()")
+	}
+	e.Cancel(fired) // must be a no-op
+	if fired.Cancelled() {
+		t.Fatal("cancel-after-fire marked the event cancelled")
+	}
+
+	// Cancelled event: Cancelled() true immediately, never fires,
+	// re-cancel is a no-op and keeps the report stable.
+	ran := false
+	ev := e.At(5, "victim", func(*Engine) { ran = true })
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("cancelled event does not report Cancelled()")
+	}
+	e.Cancel(ev) // re-cancel: no-op
+	if !ev.Cancelled() {
+		t.Fatal("re-cancel cleared the Cancelled() report")
+	}
+	e.RunAll()
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+// TestStaleRefCannotCancelRecycledEvent is the pool-safety property: after
+// an event fires (or is cancelled) its node may be reused for a brand-new
+// event; the old ref must then be inert.
+func TestStaleRefCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	old := e.At(1, "old", func(*Engine) {})
+	e.RunAll() // old fires; its node goes to the freelist
+
+	ran := false
+	fresh := e.At(2, "fresh", func(*Engine) { ran = true })
+	// The engine recycles nodes LIFO, so fresh reuses old's node.
+	// Cancelling through the stale ref must not touch it.
+	e.Cancel(old)
+	if fresh.Cancelled() {
+		t.Fatal("stale ref cancelled the recycled event")
+	}
+	e.RunAll()
+	if !ran {
+		t.Fatal("recycled event did not fire after stale-ref cancel")
+	}
+
+	// Same property for a cancel → recycle chain.
+	victim := e.At(3, "victim", func(*Engine) {})
+	e.Cancel(victim)
+	ran2 := false
+	e.At(4, "fresh2", func(*Engine) { ran2 = true })
+	e.Cancel(victim) // stale: node recycled into fresh2
+	if victim.Cancelled() {
+		t.Fatal("stale ref still reports Cancelled() after node reuse")
+	}
+	e.RunAll()
+	if !ran2 {
+		t.Fatal("event recycled from a cancelled node did not fire")
+	}
+}
+
+// TestFreelistReusePreservesOrdering floods the engine with
+// schedule/cancel churn and checks the (time, seq) contract holds
+// throughout: equal-time events fire in scheduling order even when their
+// nodes came off the freelist.
+func TestFreelistReusePreservesOrdering(t *testing.T) {
+	e := NewEngine()
+	// Prime the freelist.
+	for i := 0; i < 32; i++ {
+		e.Cancel(e.At(Time(i), "prime", func(*Engine) {}))
+	}
+	var got []int
+	for i := 0; i < 64; i++ {
+		i := i
+		e.At(100, "tie", func(*Engine) { got = append(got, i) })
+	}
+	e.RunAll()
+	if len(got) != 64 {
+		t.Fatalf("fired %d, want 64", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("recycled nodes broke FIFO tie-break at %d: %v", i, got[:i+1])
+		}
+	}
 }
 
 func TestEngineCancelOneOfMany(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]EventRef, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.At(Time(i), "n", func(*Engine) { got = append(got, i) })
@@ -238,5 +341,32 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 			e.At(Time(j%97), "b", func(*Engine) {})
 		}
 		e.RunAll()
+	}
+}
+
+// BenchmarkEngineAfterFire measures the steady-state schedule→fire cycle
+// (the shape of the simulator's inner loop: millions of After calls per
+// run). With the event freelist this is allocation-free.
+func BenchmarkEngineAfterFire(b *testing.B) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, "b", fn)
+		e.RunAll()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the schedule→cancel cycle
+// (rescheduleCompletion's pattern on every frequency change).
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(1, "b", fn)
+		e.Cancel(ev)
 	}
 }
