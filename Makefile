@@ -7,6 +7,8 @@
 #   make bench   telemetry hot-path + paper-table benchmarks
 #   make bench-check     hot-path micro-benchmarks once under -race (CI smoke)
 #   make bench-baseline  regenerate results/BENCH_sweep.json via cmd/benchjson
+#   make trace-check     fixed-seed Chrome trace vs committed golden bytes
+#   make trace-golden    rewrite the golden after an intentional format change
 #   make smoke   build-and-run every example and command briefly
 #   make check   build + vet + test (the pre-commit bundle)
 
@@ -20,7 +22,7 @@ GO ?= go
 HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep)'
 HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments
 
-.PHONY: build test race vet bench bench-check bench-baseline smoke check clean
+.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden smoke check clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +45,16 @@ bench-check:
 
 bench-baseline:
 	$(GO) test -run '^$$' -bench $(HOT_BENCH) -benchmem $(HOT_PKGS) | $(GO) run ./cmd/benchjson > results/BENCH_sweep.json
+
+# The Chrome trace exporter's bytes are a contract (Perfetto tooling,
+# diffable artifacts): a fixed-seed simulation must serialize identically
+# on every run. trace-golden rewrites the committed file after an
+# intentional format change.
+trace-check:
+	$(GO) test -run 'TestChromeTrace(Golden|Deterministic)' -count=1 ./internal/trace
+
+trace-golden:
+	$(GO) test -run TestChromeTraceGolden -count=1 ./internal/trace -update
 
 smoke:
 	$(GO) test -run TestSmoke -v .

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"retail/internal/experiments"
+	"retail/internal/trace"
 )
 
 type runner struct {
@@ -34,14 +35,23 @@ type rendered string
 
 func (r rendered) String() string { return string(r) }
 
-// renderedWith carries CSV-exportable results alongside the text render.
+// renderedWith carries CSV-exportable results and span flight recorders
+// alongside the text render.
 type renderedWith struct {
 	text string
 	exp  map[string]experiments.CSVExportable
+	tr   map[string]*trace.FlightRecorder
 }
 
 func (r renderedWith) String() string                                { return r.text }
 func (r renderedWith) exports() map[string]experiments.CSVExportable { return r.exp }
+func (r renderedWith) traces() map[string]*trace.FlightRecorder      { return r.tr }
+
+// traceCarrier is implemented by results that can carry a flight recorder
+// (spike, fig14); the recorder is nil unless Config.Trace was set.
+type traceCarrier interface {
+	FlightRecorder() *trace.FlightRecorder
+}
 
 func wrap(f func(experiments.Config) (interface{ Render() string }, error)) func(experiments.Config, []string) (fmt.Stringer, error) {
 	return func(cfg experiments.Config, _ []string) (fmt.Stringer, error) {
@@ -49,10 +59,19 @@ func wrap(f func(experiments.Config) (interface{ Render() string }, error)) func
 		if err != nil {
 			return nil, err
 		}
+		out := renderedWith{text: res.Render()}
 		if e, ok := res.(experiments.CSVExportable); ok {
-			return renderedWith{text: res.Render(), exp: map[string]experiments.CSVExportable{expName(res): e}}, nil
+			out.exp = map[string]experiments.CSVExportable{expName(res): e}
 		}
-		return rendered(res.Render()), nil
+		if tc, ok := res.(traceCarrier); ok {
+			if fr := tc.FlightRecorder(); fr != nil {
+				out.tr = map[string]*trace.FlightRecorder{expName(res): fr}
+			}
+		}
+		if out.exp == nil && out.tr == nil {
+			return rendered(out.text), nil
+		}
+		return out, nil
 	}
 }
 
@@ -131,11 +150,18 @@ func allRunners() []runner {
 				}
 				var out strings.Builder
 				exp := map[string]experiments.CSVExportable{}
+				tr := map[string]*trace.FlightRecorder{}
 				for i, res := range results {
 					out.WriteString(res.Render())
 					exp["spike_"+apps[i]] = res
+					if res.Flight != nil {
+						tr["spike_"+apps[i]] = res.Flight
+					}
 				}
-				return renderedWith{text: out.String(), exp: exp}, nil
+				if len(tr) == 0 {
+					tr = nil
+				}
+				return renderedWith{text: out.String(), exp: exp, tr: tr}, nil
 			}},
 		{"overhead", "§VII-F decision/transition overhead accounting",
 			func(cfg experiments.Config, apps []string) (fmt.Stringer, error) {
@@ -163,6 +189,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files into")
+		traceDir = flag.String("trace-dir", "", "directory to write Perfetto-viewable span traces for trace-capable experiments (spike, fig14)")
 		parallel = flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	)
 	flag.Parse()
@@ -180,6 +207,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Parallel = *parallel
+	cfg.Trace = *traceDir != ""
 
 	var apps []string
 	if *appsFlag != "" {
@@ -233,6 +261,40 @@ func main() {
 					}
 					f.Close()
 					fmt.Printf("  wrote %s\n", path)
+				}
+			}
+		}
+		if *traceDir != "" {
+			if tc, ok := out.(interface {
+				traces() map[string]*trace.FlightRecorder
+			}); ok && len(tc.traces()) > 0 {
+				if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+					exit = 1
+					continue
+				}
+				traces := tc.traces()
+				names := make([]string, 0, len(traces))
+				for name := range traces {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					fr := traces[name]
+					path := filepath.Join(*traceDir, name+".trace.json")
+					f, err := os.Create(path)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+						exit = 1
+						continue
+					}
+					if err := fr.WriteChrome(f); err != nil {
+						fmt.Fprintf(os.Stderr, "trace %s: %v\n", path, err)
+						exit = 1
+					}
+					f.Close()
+					st := fr.Stats()
+					fmt.Printf("  wrote %s (%d spans, %d violations)\n", path, st.Kept, st.Violations)
 				}
 			}
 		}

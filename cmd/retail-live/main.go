@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -87,12 +88,18 @@ func main() {
 	srv.Start()
 	defer srv.Close()
 	if reg != nil {
-		ms, err := reg.Serve(*metricsAddr)
+		// One port hosts both the Prometheus exposition and the runtime's
+		// introspection endpoints: /debug/trace (decision-attributed flight
+		// ring) and /debug/pprof/* (live CPU/heap profiles).
+		mux := http.NewServeMux()
+		mux.Handle("/debug/", srv.DebugHandler())
+		mux.Handle("/", reg.Handler())
+		ms, err := telemetry.ServeHandler(*metricsAddr, mux)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer ms.Close()
-		log.Printf("metrics on http://%s/metrics (health: /healthz)", ms.Addr())
+		log.Printf("metrics on http://%s/metrics (health: /healthz, trace: /debug/trace, profiles: /debug/pprof/)", ms.Addr())
 	}
 	log.Printf("serving on %s; loading at %.0f RPS for %v", srv.Addr(), *rps, *duration)
 

@@ -7,19 +7,26 @@
 //
 //	retail-sim -app xapian -manager retail -load 0.7
 //	retail-sim -app silo -manager gemini -rps 20000 -duration 30
+//	retail-sim -app xapian -trace run.json            # Perfetto-viewable spans
+//	retail-sim -app xapian -trace run.csv -trace-format csv
+//	retail-sim -app xapian -metrics                   # Prometheus text dump
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"retail/internal/core"
 	"retail/internal/experiments"
 	"retail/internal/manager"
 	"retail/internal/nn"
+	"retail/internal/server"
 	"retail/internal/sim"
+	"retail/internal/telemetry"
+	"retail/internal/trace"
 	"retail/internal/workload"
 )
 
@@ -34,12 +41,21 @@ func main() {
 		seed     = flag.Int64("seed", 7, "simulation seed")
 		samples  = flag.Int("samples", 1000, "calibration samples per frequency level")
 		quickNN  = flag.Bool("quick-nn", true, "use a small NN for gemini instead of the 5×128")
+
+		tracePath  = flag.String("trace", "", "write a request trace to this file (span flight recorder)")
+		traceFmt   = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-viewable JSON) or csv")
+		traceCap   = flag.Int("trace-cap", 0, "flight-recorder ring capacity per class (0 = default 4096)")
+		traceEvery = flag.Int("trace-sample", 1, "keep 1 of every N ordinary spans (violations/drops/p99 always kept)")
+		metrics    = flag.Bool("metrics", false, "attach the telemetry registry and print a Prometheus text summary after the run")
 	)
 	flag.Parse()
 
 	app := workload.ByName(*appName)
-	if app == nil {
-		log.Fatalf("unknown app %q", *appName)
+	if err := validateFlags(app, *appName, *load, *rps, *workers, *duration, *samples,
+		*tracePath, *traceFmt, *traceCap, *traceEvery); err != nil {
+		fmt.Fprintf(os.Stderr, "retail-sim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 	platform := core.DefaultPlatform().WithWorkers(*workers)
 	cal, err := core.Calibrate(app, platform, *samples, *seed)
@@ -78,6 +94,39 @@ func main() {
 		log.Fatalf("unknown manager %q", *mgrName)
 	}
 
+	// Optional observers, installed through the core.Run instrument hook so
+	// they wrap the manager's hooks chain after Attach.
+	var (
+		flight *trace.FlightRecorder
+		reg    *telemetry.Registry
+	)
+	if *tracePath != "" {
+		flight = trace.NewFlightRecorder(trace.FlightRecorderConfig{
+			QoS: app.QoS(), Capacity: *traceCap, SampleEvery: *traceEvery,
+		})
+	}
+	if *metrics {
+		reg = telemetry.NewRegistry()
+	}
+	instrument := func(e *sim.Engine, s *server.Server) {
+		if flight != nil {
+			flight.Attach(s)
+			if ds, ok := m.(interface {
+				SetDecisionSink(server.DecisionSink)
+			}); ok {
+				ds.SetDecisionSink(flight)
+			} else {
+				log.Printf("note: manager %q emits no decision attribution; trace will carry lifecycle spans only", m.Name())
+			}
+		}
+		if reg != nil {
+			server.AttachTelemetry(s, reg, app.Name(), app.QoS())
+			if rt, ok := m.(*manager.ReTail); ok {
+				rt.Instrument(reg, app.Name())
+			}
+		}
+	}
+
 	dur := sim.Duration(*duration)
 	if dur <= 0 {
 		dur = core.RecommendedDuration(app, rate)
@@ -85,6 +134,7 @@ func main() {
 	res, err := core.Run(core.RunConfig{
 		App: app, Platform: platform, Manager: m,
 		RPS: rate, Warmup: dur / 5, Duration: dur, Seed: *seed,
+		Instrument: instrument,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -109,4 +159,81 @@ transitions  %d frequency changes
 		sim.Time(res.P50), sim.Time(res.P95), sim.Time(res.P99), sim.Time(res.MeanLatency),
 		verdict, app.QoS().Percentile, sim.Time(res.TailAtQoSPct), app.QoS().Latency,
 		res.Transitions)
+
+	if flight != nil {
+		if err := writeTrace(flight, *tracePath, *traceFmt); err != nil {
+			log.Fatal(err)
+		}
+		st := flight.Stats()
+		fmt.Printf("trace        %s (%s): %d spans kept of %d seen, %d violations, %d drops\n",
+			*tracePath, *traceFmt, st.Kept, st.Total, st.Violations, st.Dropped)
+		fmt.Print(flight.Audit().Render())
+	}
+	if reg != nil {
+		fmt.Println("--- metrics ---")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeTrace exports the flight recorder in the requested format.
+func writeTrace(fr *trace.FlightRecorder, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "chrome":
+		err = fr.WriteChrome(f)
+	case "csv":
+		err = fr.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// validateFlags checks flag combinations up front so misconfiguration
+// produces a usable error instead of a mid-run failure, mirroring
+// retail-live's validateFlags.
+func validateFlags(app workload.App, appName string, load, rps float64, workers int, duration float64, samples int, tracePath, traceFmt string, traceCap, traceEvery int) error {
+	if app == nil {
+		return fmt.Errorf("unknown -app %q (known: %s)", appName, strings.Join(experiments.AppNames(), ", "))
+	}
+	if rps < 0 {
+		return fmt.Errorf("-rps must be non-negative, got %g", rps)
+	}
+	if rps == 0 && load <= 0 {
+		return fmt.Errorf("-load must be positive when -rps is unset, got %g", load)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
+	if duration < 0 {
+		return fmt.Errorf("-duration must be non-negative, got %g", duration)
+	}
+	if samples < 1 {
+		return fmt.Errorf("-samples must be at least 1, got %d", samples)
+	}
+	if traceFmt != "chrome" && traceFmt != "csv" {
+		return fmt.Errorf("-trace-format must be chrome or csv, got %q", traceFmt)
+	}
+	if tracePath == "" {
+		if traceCap != 0 {
+			return fmt.Errorf("-trace-cap is only meaningful with -trace")
+		}
+		if traceEvery != 1 {
+			return fmt.Errorf("-trace-sample is only meaningful with -trace")
+		}
+		return nil
+	}
+	if traceCap < 0 {
+		return fmt.Errorf("-trace-cap must be non-negative, got %d", traceCap)
+	}
+	if traceEvery < 1 {
+		return fmt.Errorf("-trace-sample must be at least 1, got %d", traceEvery)
+	}
+	return nil
 }

@@ -374,6 +374,11 @@ type RunConfig struct {
 	// Events, when non-nil, is invoked once at every listed time (after
 	// warmup offset is NOT applied; times are absolute virtual times).
 	Events []TimedEvent
+	// Instrument, when non-nil, runs after the manager is attached and
+	// before load starts — the place to chain observers (trace flight
+	// recorders, telemetry hook adapters) around the manager's hooks
+	// without core depending on the observer packages.
+	Instrument func(e *sim.Engine, s *server.Server)
 }
 
 // TimedEvent triggers arbitrary environment changes mid-run (interference,
@@ -423,6 +428,9 @@ func Run(cfg RunConfig) (*Result, error) {
 		Seed:    cfg.Platform.Seed ^ cfg.Seed,
 	})
 	cfg.Manager.Attach(e, srv)
+	if cfg.Instrument != nil {
+		cfg.Instrument(e, srv)
+	}
 
 	qos := cfg.App.QoS()
 	lat := stats.NewLatencyTracker(0, true)

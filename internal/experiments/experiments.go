@@ -43,6 +43,12 @@ type Config struct {
 	// GeminiNN overrides Gemini's network structure (nil = the published
 	// 5×128, which is slow to train in a test setting).
 	GeminiNN *nn.Config
+	// Trace attaches a span flight recorder (decision-attributed request
+	// tracing) to the trace-capable scenarios — the load spike and the
+	// Fig 14 drift timeline. The recorder is a pure observer, so traced
+	// results are identical to untraced ones; the result structs then carry
+	// the recorder for Chrome-trace/CSV export.
+	Trace bool
 }
 
 // Default returns the paper-resolution configuration.

@@ -6,6 +6,7 @@ import (
 	"retail/internal/core"
 	"retail/internal/manager"
 	"retail/internal/sim"
+	"retail/internal/trace"
 	"retail/internal/workload"
 )
 
@@ -32,6 +33,10 @@ type LoadSpikeResult struct {
 	RecoveredQoSPrime sim.Duration
 	// PostSpikeTailOK reports whether the tail returned under QoS.
 	PostSpikeTailOK bool
+	// Flight is the span flight recorder, populated when Config.Trace is
+	// set (nil otherwise). Its Chrome export shows the spike as a burst of
+	// queueing-attributed violations followed by the max-frequency clamp.
+	Flight *trace.FlightRecorder
 }
 
 // LoadSpikes runs the spike scenario for several applications as one
@@ -69,6 +74,12 @@ func LoadSpike(cfg Config, appName string) (*LoadSpikeResult, error) {
 	e := sim.NewEngine()
 	srv := serverFor(cfg.Platform, app, cfg.Seed)
 	rt.Attach(e, srv)
+	var flight *trace.FlightRecorder
+	if cfg.Trace {
+		flight = trace.NewFlightRecorder(trace.FlightRecorderConfig{QoS: app.QoS()})
+		flight.Attach(srv)
+		rt.SetDecisionSink(flight)
+	}
 	lat := newTimedTail(app.QoS().Percentile)
 	srv.CompletedSink = func(en *sim.Engine, r *workload.Request) {
 		lat.add(en.Now(), float64(r.Sojourn()))
@@ -82,7 +93,7 @@ func LoadSpike(cfg Config, appName string) (*LoadSpikeResult, error) {
 	e.Run(horizon)
 	gen.Stop()
 
-	res := &LoadSpikeResult{App: app.Name(), SpikeStart: spikeStart, SpikeEnd: spikeEnd}
+	res := &LoadSpikeResult{App: app.Name(), SpikeStart: spikeStart, SpikeEnd: spikeEnd, Flight: flight}
 	res.QoSPrimeTrace, _ = rt.Traces()
 	res.CollapseSeconds = -1
 	floor := 0.10 * float64(app.QoS().Latency)
@@ -98,6 +109,10 @@ func LoadSpike(cfg Config, appName string) (*LoadSpikeResult, error) {
 	}
 	return res, nil
 }
+
+// FlightRecorder returns the attached span recorder (nil when tracing is
+// off), letting callers export without knowing the concrete result type.
+func (r *LoadSpikeResult) FlightRecorder() *trace.FlightRecorder { return r.Flight }
 
 // Render prints the QoS′ trajectory around the spike.
 func (r *LoadSpikeResult) Render() string {

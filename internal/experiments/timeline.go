@@ -8,6 +8,7 @@ import (
 	"retail/internal/manager"
 	"retail/internal/server"
 	"retail/internal/sim"
+	"retail/internal/trace"
 	"retail/internal/workload"
 )
 
@@ -170,6 +171,10 @@ type Fig14Result struct {
 	RecoverySeconds float64
 	ViolatedBefore  bool // sanity: no violation before onset
 	QoSMetAfter     bool
+	// Flight is the span flight recorder, populated when Config.Trace is
+	// set (nil otherwise). Under interference its audit shifts violation
+	// attribution toward misprediction until the retrain lands.
+	Flight *trace.FlightRecorder
 }
 
 // Fig14 runs Moses at 20% load, injects interference at t=5 s, and traces
@@ -193,6 +198,11 @@ func Fig14(cfg Config) (*Fig14Result, error) {
 	srv := serverFor(platform, app, cfg.Seed)
 	rt.Attach(e, srv)
 	res := &Fig14Result{InterfereAt: onset, Factor: factor}
+	if cfg.Trace {
+		res.Flight = trace.NewFlightRecorder(trace.FlightRecorderConfig{QoS: app.QoS()})
+		res.Flight.Attach(srv)
+		rt.SetDecisionSink(res.Flight)
+	}
 
 	lat := newTimedTail(app.QoS().Percentile)
 	srv.CompletedSink = func(en *sim.Engine, r *workload.Request) {
@@ -254,6 +264,10 @@ func serverFor(p core.Platform, app workload.App, seed int64) *server.Server {
 		Seed:    p.Seed ^ seed,
 	})
 }
+
+// FlightRecorder returns the attached span recorder (nil when tracing is
+// off), letting callers export without knowing the concrete result type.
+func (r *Fig14Result) FlightRecorder() *trace.FlightRecorder { return r.Flight }
 
 // Render prints the three Fig 14 traces side by side.
 func (r *Fig14Result) Render() string {

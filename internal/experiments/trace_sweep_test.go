@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"retail/internal/trace"
+)
+
+// TestTracedSpikeSweepConcurrent runs the traced spike scenario for
+// several apps as concurrent sweep cells, each with its own span flight
+// recorder. Under -race this pins that per-cell recorders share no state:
+// every cell's spans, decisions and audit are built from its own
+// simulation only. It also checks the traced results match an untraced
+// sequential run — attaching the recorder must not perturb behavior.
+func TestTracedSpikeSweepConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spike timelines are slow")
+	}
+	apps := []string{"xapian", "masstree", "silo"}
+
+	cfg := quickCfg()
+	cfg.Trace = true
+	cfg.Parallel = len(apps) // force genuinely concurrent cells
+	traced, err := LoadSpikes(cfg, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := cfg
+	plain.Trace = false
+	plain.Parallel = 1
+	baseline, err := LoadSpikes(plain, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, res := range traced {
+		if res.App != apps[i] {
+			t.Fatalf("result %d is %s, want %s (canonical order)", i, res.App, apps[i])
+		}
+		if res.Flight == nil {
+			t.Fatalf("%s: traced run has no flight recorder", res.App)
+		}
+		st := res.Flight.Stats()
+		if st.Total == 0 || st.Kept == 0 {
+			t.Fatalf("%s: empty flight recorder: %+v", res.App, st)
+		}
+		// Per-cell isolation: every span belongs to this cell's app.
+		decided := 0
+		for _, sp := range res.Flight.Spans() {
+			if sp.App != res.App {
+				t.Fatalf("%s: span for foreign app %q leaked into cell", res.App, sp.App)
+			}
+			if sp.Decisions > 0 {
+				decided++
+			}
+		}
+		if decided == 0 {
+			t.Fatalf("%s: no spans carry decision attribution", res.App)
+		}
+		// The audit must classify every violation it reports.
+		audit := res.Flight.Audit()
+		attributed := 0
+		for _, n := range audit.ByCause {
+			attributed += n
+		}
+		if attributed != audit.Violations {
+			t.Fatalf("%s: %d violations but %d attributed", res.App, audit.Violations, attributed)
+		}
+
+		// Observer purity: the traced, concurrent run reports the same
+		// QoS′ trajectory and summary as the untraced sequential one.
+		b := baseline[i]
+		if !reflect.DeepEqual(res.QoSPrimeTrace, b.QoSPrimeTrace) {
+			t.Fatalf("%s: QoS′ trace differs between traced and untraced runs", res.App)
+		}
+		if res.CollapseSeconds != b.CollapseSeconds || res.RecoveredQoSPrime != b.RecoveredQoSPrime {
+			t.Fatalf("%s: traced run diverged: collapse %v vs %v, recovered %v vs %v",
+				res.App, res.CollapseSeconds, b.CollapseSeconds, res.RecoveredQoSPrime, b.RecoveredQoSPrime)
+		}
+		if b.Flight != nil {
+			t.Fatalf("%s: untraced run unexpectedly carries a recorder", res.App)
+		}
+	}
+
+	// The recorders are genuinely distinct objects.
+	seen := map[*trace.FlightRecorder]bool{}
+	for _, res := range traced {
+		if seen[res.Flight] {
+			t.Fatal("two cells share one flight recorder")
+		}
+		seen[res.Flight] = true
+	}
+}

@@ -57,6 +57,9 @@ type ServerConfig struct {
 	Metrics *telemetry.Registry
 	// AppName labels the metrics (default "live").
 	AppName string
+	// TraceCapacity bounds the /debug/trace flight ring of recent
+	// completed requests (0 = 2048; negative disables recording).
+	TraceCapacity int
 }
 
 type queuedReq struct {
@@ -86,6 +89,12 @@ type Server struct {
 
 	decisions uint64
 	metrics   *liveMetrics // nil when cfg.Metrics is nil
+
+	// Flight ring for /debug/trace (guarded by mu; see debug.go).
+	spans    []LiveSpan
+	spanHead int
+	spanFull bool
+	spanCap  int
 }
 
 // NewServer validates the configuration and binds the listener.
@@ -108,6 +117,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		qosPrime: time.Duration(float64(cfg.QoS.Latency) * 1e9),
 		stop:     make(chan struct{}),
 		conns:    map[net.Conn]struct{}{},
+	}
+	switch {
+	case cfg.TraceCapacity == 0:
+		s.spanCap = 2048
+	case cfg.TraceCapacity > 0:
+		s.spanCap = cfg.TraceCapacity
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wake = append(s.wake, make(chan struct{}, 1))
@@ -278,7 +293,7 @@ func (s *Server) worker(id int) {
 				return
 			}
 		}
-		lvl := s.decide(id, q)
+		lvl, predicted, qlen, qp := s.decide(id, q)
 		if err := s.cfg.Backend.SetLevel(id, lvl); err == nil {
 			// Frequency applied; nothing else to do — the executor runs
 			// the request at whatever the hardware now provides.
@@ -289,6 +304,14 @@ func (s *Server) worker(id int) {
 		end := time.Now()
 		sojourn := end.Sub(time.Unix(0, q.req.GenNs))
 		s.metrics.observeCompletion(sojourn, end.Sub(start), lvl)
+		s.recordSpan(LiveSpan{
+			ID: q.req.ID, Worker: id,
+			RecvNs: q.recv.UnixNano(), StartNs: start.UnixNano(), EndNs: end.UnixNano(),
+			Level: int(lvl), QueueLen: qlen, QoSPrimeNs: qp.Nanoseconds(),
+			PredictedS: predicted, ActualS: end.Sub(start).Seconds(),
+			SojournS: sojourn.Seconds(),
+			Violated: sojourn.Seconds() > float64(s.cfg.QoS.Latency),
+		})
 		s.mu.Lock()
 		s.window = append(s.window, sojourn.Seconds())
 		if len(s.window) > 4096 {
@@ -305,13 +328,17 @@ func (s *Server) worker(id int) {
 	}
 }
 
-// decide is Algorithm 1 over the worker's current queue snapshot.
-func (s *Server) decide(id int, head *queuedReq) cpu.Level {
+// decide is Algorithm 1 over the worker's current queue snapshot. It
+// returns the chosen level plus the attribution the flight ring records:
+// the head's predicted service at that level, the queue occupancy and
+// QoS′ at decision time.
+func (s *Server) decide(id int, head *queuedReq) (cpu.Level, float64, int, time.Duration) {
 	now := time.Now()
 	s.mu.Lock()
 	queue := make([]*queuedReq, len(s.queues[id]))
 	copy(queue, s.queues[id])
-	budget := s.qosPrime.Seconds()
+	qosPrime := s.qosPrime
+	budget := qosPrime.Seconds()
 	s.decisions++
 	s.mu.Unlock()
 	s.metrics.incDecisions()
@@ -335,10 +362,10 @@ func (s *Server) decide(id int, head *queuedReq) cpu.Level {
 			sum += rs
 		}
 		if ok {
-			return lvl
+			return lvl, svc, len(queue), qosPrime
 		}
 	}
-	return maxLvl
+	return maxLvl, s.cfg.Predictor.Predict(maxLvl, head.req.Features), len(queue), qosPrime
 }
 
 // monitor is the QoS′ loop: compare the recent tail with the target.

@@ -63,6 +63,8 @@ type Gemini struct {
 	inferences uint64
 	boosts     int
 	dropped    int
+	// sink receives decision-attribution records (nil = tracing off).
+	sink server.DecisionSink
 }
 
 // NewGemini builds the manager.
@@ -87,6 +89,11 @@ func (m *Gemini) Inferences() uint64 { return m.inferences }
 
 // Boosts returns how many two-step boosts fired.
 func (m *Gemini) Boosts() int { return m.boosts }
+
+// SetDecisionSink attaches a decision-attribution sink (nil = off). The
+// emitted Decision reuses the prediction the two-step DVFS logic already
+// computed, so tracing never perturbs the inference count or timing.
+func (m *Gemini) SetDecisionSink(sink server.DecisionSink) { m.sink = sink }
 
 // Attach implements Manager.
 func (m *Gemini) Attach(e *sim.Engine, s *server.Server) {
@@ -144,6 +151,19 @@ func (m *Gemini) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
 		}
 	}
 	predicted := m.predictAt(chosen, r)
+	if m.sink != nil {
+		m.sink.RecordDecision(server.Decision{
+			At:               e.Now(),
+			Worker:           w.ID,
+			Head:             r.ID,
+			Level:            chosen,
+			Binding:          r.ID, // Gemini sizes the frequency to the request alone
+			QueueLen:         len(w.Queue()),
+			QoSPrime:         m.qos.Latency, // pinned: no latency monitor
+			DecisionDelay:    m.cfg.InferenceCost,
+			PredictedService: predicted,
+		})
+	}
 	e.After(m.cfg.InferenceCost, "gemini.setfreq", func(en *sim.Engine) {
 		if w.Current() != r {
 			return // already finished: the decision arrived too late

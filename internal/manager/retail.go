@@ -130,6 +130,19 @@ type ReTail struct {
 
 	retraining bool
 
+	// sink receives decision-attribution records (nil = tracing off; the
+	// decide path then stays allocation-free and byte-identical to the
+	// untraced build). bindID tracks Algorithm 1's binding request — the
+	// pipeline member whose predicted deadline forced the search past the
+	// previous level — at the cost of one scalar store per failed check.
+	sink   server.DecisionSink
+	bindID uint64
+
+	// freqFree pools the deferred frequency-write callbacks so decide
+	// allocates nothing in steady state: each entry carries a closure
+	// built once that reads the entry's (worker, level) when it fires.
+	freqFree []*freqApply
+
 	// Telemetry.
 	inferences    uint64
 	retrains      int
@@ -207,6 +220,15 @@ func (m *ReTail) Instrument(reg *telemetry.Registry, app string) {
 		"Model-drift episodes detected (RMSE/QoS above baseline+threshold).", appLabel)
 	m.drift.OnDrift(driftCounter.Inc)
 }
+
+// SetDecisionSink attaches a decision-attribution sink (the trace flight
+// recorder). A nil sink — the default — keeps the decide path identical to
+// the untraced build; a non-nil sink receives one Decision per Algorithm 1
+// invocation carrying the chosen level, the binding request, QoS′ and the
+// predicted service time. Attaching a sink never changes simulated
+// behavior: the attribution lookups are host-side reads of the prediction
+// memo and are not charged to the modeled inference budget.
+func (m *ReTail) SetDecisionSink(sink server.DecisionSink) { m.sink = sink }
 
 // Traces returns the recorded QoS′ and RMSE/QoS timelines.
 func (m *ReTail) Traces() (qosPrime, rmse []TracePoint) {
@@ -444,6 +466,13 @@ func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Req
 	now := e.Now()
 	queue := w.Queue()
 	maxLvl := m.grid.MaxLevel()
+	// The binding request defaults to the head: if the lowest level is
+	// chosen without any failed check, the head bound trivially. Each
+	// failed deadline check overwrites it, so when the loop settles on
+	// level L the field holds whichever request ruled out L−1 (or forced
+	// the max-level fallback). A scalar store per failure keeps the hot
+	// loop allocation-free whether or not a sink is attached.
+	m.bindID = head.ID
 	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
 		serviceSum := 0.0
 		ok := true
@@ -453,6 +482,7 @@ func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Req
 			svc = 0
 		}
 		if float64(now-head.Gen)+svc > float64(m.qosPrime) {
+			m.bindID = head.ID
 			continue
 		}
 		serviceSum = svc
@@ -464,6 +494,7 @@ func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Req
 		for _, r := range queue {
 			s := m.predictService(lvl, r)
 			if float64(now-r.Gen)+serviceSum+s > float64(m.qosPrime) {
+				m.bindID = r.ID
 				ok = false
 				break
 			}
@@ -472,6 +503,7 @@ func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Req
 		if ok && extra != nil {
 			s := m.predictService(lvl, extra)
 			if float64(now-extra.Gen)+serviceSum+s > float64(m.qosPrime) {
+				m.bindID = extra.ID
 				ok = false
 			}
 		}
@@ -480,6 +512,53 @@ func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Req
 		}
 	}
 	return maxLvl
+}
+
+// peekPredict returns the model's estimate for r at lvl without charging
+// the modeled inference budget: attribution is host-side observability,
+// and charging it would make a traced run diverge from an untraced one.
+// It shares the memo with predictService, so when Algorithm 1 already
+// evaluated (lvl, r) this is a pure read.
+func (m *ReTail) peekPredict(lvl cpu.Level, r *workload.Request) float64 {
+	ent := m.entryFor(r)
+	if v := ent.vals[lvl]; !math.IsNaN(v) {
+		return v
+	}
+	v := m.model.Predict(lvl, ent.feats)
+	ent.vals[lvl] = v
+	return v
+}
+
+// freqApply is a pooled deferred frequency write: the closure is built
+// once per pool entry and rereads the entry's fields when it fires, so
+// scheduling a decision's SetLevel allocates nothing in steady state.
+type freqApply struct {
+	m   *ReTail
+	w   *server.Worker
+	lvl cpu.Level
+	fn  func(*sim.Engine)
+}
+
+func (m *ReTail) getFreqApply(w *server.Worker, lvl cpu.Level) *freqApply {
+	var fa *freqApply
+	if n := len(m.freqFree); n > 0 {
+		fa = m.freqFree[n-1]
+		m.freqFree[n-1] = nil
+		m.freqFree = m.freqFree[:n-1]
+	} else {
+		fa = &freqApply{m: m}
+		fa.fn = func(en *sim.Engine) { fa.run(en) }
+	}
+	fa.w, fa.lvl = w, lvl
+	return fa
+}
+
+func (fa *freqApply) run(en *sim.Engine) {
+	// The head may have completed during the decision; the level is still
+	// the best estimate for the pipeline, so apply regardless.
+	fa.w.Core().SetLevel(en, fa.lvl)
+	fa.w = nil
+	fa.m.freqFree = append(fa.m.freqFree, fa)
 }
 
 // decide runs Algorithm 1 for the worker's head request and applies the
@@ -495,11 +574,20 @@ func (m *ReTail) decide(e *sim.Engine, w *server.Worker, head *workload.Request,
 		m.decisionCounter.Inc()
 	}
 	cost := sim.Duration(float64(m.inferences-before)) * m.cfg.InferenceCost
-	e.After(cost, "retail.setfreq", func(en *sim.Engine) {
-		// The head may have completed during the decision; the level is
-		// still the best estimate for the pipeline, so apply regardless.
-		w.Core().SetLevel(en, lvl)
-	})
+	if m.sink != nil {
+		m.sink.RecordDecision(server.Decision{
+			At:               e.Now(),
+			Worker:           w.ID,
+			Head:             head.ID,
+			Level:            lvl,
+			Binding:          m.bindID,
+			QueueLen:         len(w.Queue()),
+			QoSPrime:         m.qosPrime,
+			DecisionDelay:    cost,
+			PredictedService: m.peekPredict(lvl, head),
+		})
+	}
+	e.After(cost, "retail.setfreq", m.getFreqApply(w, lvl).fn)
 }
 
 // Arrival implements server.Hooks: re-examine the running request's

@@ -41,6 +41,8 @@ type Rubik struct {
 	InferenceCost sim.Duration
 
 	inferences uint64
+	// sink receives decision-attribution records (nil = tracing off).
+	sink server.DecisionSink
 }
 
 // NewRubik builds the manager from an offline profile of service times at
@@ -57,6 +59,11 @@ func (m *Rubik) Name() string { return "rubik" }
 // Inferences returns the tail-estimate count.
 func (m *Rubik) Inferences() uint64 { return m.inferences }
 
+// SetDecisionSink attaches a decision-attribution sink (nil = off).
+// Attribution reads reuse values the decision loop already computed, so a
+// traced Rubik run is byte-identical to an untraced one.
+func (m *Rubik) SetDecisionSink(sink server.DecisionSink) { m.sink = sink }
+
 // Attach implements Manager.
 func (m *Rubik) Attach(e *sim.Engine, s *server.Server) {
 	m.grid = s.Socket.Cores[0].Grid()
@@ -64,9 +71,15 @@ func (m *Rubik) Attach(e *sim.Engine, s *server.Server) {
 }
 
 // tailServiceAt returns the profiled tail quantile scaled proportionally
-// to the given level's frequency.
+// to the given level's frequency, charging the inference counter.
 func (m *Rubik) tailServiceAt(lvl cpu.Level) float64 {
 	m.inferences++
+	return m.tailAt(lvl)
+}
+
+// tailAt is the uncounted estimate, used for attribution so tracing never
+// perturbs the diagnostic inference count.
+func (m *Rubik) tailAt(lvl cpu.Level) float64 {
 	if len(m.profile) == 0 {
 		return 0
 	}
@@ -113,6 +126,7 @@ func (m *Rubik) decide(e *sim.Engine, w *server.Worker, head *workload.Request, 
 	target := float64(m.qos.Latency)
 	maxLvl := m.grid.MaxLevel()
 	chosen := maxLvl
+	bind := head.ID // see ReTail.targetLevel: overwritten by each failed check
 	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
 		tail := m.tailServiceAt(lvl)
 		ok := true
@@ -121,11 +135,13 @@ func (m *Rubik) decide(e *sim.Engine, w *server.Worker, head *workload.Request, 
 			svc = 0
 		}
 		if float64(now-head.Gen)+svc > target {
+			bind = head.ID
 			continue
 		}
 		sum := svc
 		check := func(r *workload.Request) bool {
 			if float64(now-r.Gen)+sum+tail > target {
+				bind = r.ID
 				return false
 			}
 			sum += tail
@@ -146,6 +162,19 @@ func (m *Rubik) decide(e *sim.Engine, w *server.Worker, head *workload.Request, 
 		}
 	}
 	cost := m.InferenceCost // table lookups are trivially cheap
+	if m.sink != nil {
+		m.sink.RecordDecision(server.Decision{
+			At:               now,
+			Worker:           w.ID,
+			Head:             head.ID,
+			Level:            chosen,
+			Binding:          bind,
+			QueueLen:         len(queue),
+			QoSPrime:         m.qos.Latency, // Rubik has no latency monitor
+			DecisionDelay:    cost,
+			PredictedService: m.tailAt(chosen),
+		})
+	}
 	e.After(cost, "rubik.setfreq", func(en *sim.Engine) {
 		w.Core().SetLevel(en, chosen)
 	})

@@ -140,11 +140,18 @@ type HTTPServer struct {
 // Serve binds addr (":9090", "127.0.0.1:0", …) and serves the registry's
 // Handler on it in a background goroutine. Close to stop.
 func (r *Registry) Serve(addr string) (*HTTPServer, error) {
+	return ServeHandler(addr, r.Handler())
+}
+
+// ServeHandler binds addr and serves an arbitrary handler in a background
+// goroutine — used to co-host the registry's /metrics with a runtime's
+// /debug endpoints on one port. Close the returned server to stop.
+func ServeHandler(addr string, h http.Handler) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	hs := &HTTPServer{ln: ln, srv: &http.Server{Handler: r.Handler()}}
+	hs := &HTTPServer{ln: ln, srv: &http.Server{Handler: h}}
 	go func() { _ = hs.srv.Serve(ln) }()
 	return hs, nil
 }

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"retail/internal/sim"
+	"retail/internal/stats"
+	"retail/internal/workload"
+)
+
+// Cause classifies why a QoS violation happened, in the vocabulary of the
+// paper's pipeline: the request waited too long (queueing), the predictor
+// under-estimated its service time so Algorithm 1 chose too low a
+// frequency (mispredict), or the frequency write landed too late
+// (decision delay).
+type Cause uint8
+
+const (
+	CauseQueueing Cause = iota
+	CauseMispredict
+	CauseDecisionDelay
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseQueueing:
+		return "queueing"
+	case CauseMispredict:
+		return "mispredict"
+	case CauseDecisionDelay:
+		return "decision-delay"
+	}
+	return "unknown"
+}
+
+// Attribute assigns one violation cause to a span: the largest of its
+// three latency components wins — queueing delay (Start−Arrival), positive
+// prediction error (actual−predicted service), and accumulated decision
+// delay. Ties and spans with no recorded prediction fall back in the order
+// mispredict > queueing > decision-delay: a violation with no queueing and
+// no decision delay can only mean the accepted schedule was wrong, which
+// is a prediction problem even when the predictor never got to run.
+func Attribute(sp Span) Cause {
+	q := float64(sp.QueueDelay())
+	mp := 0.0
+	if err, ok := sp.PredictionError(); ok && err > 0 {
+		mp = err
+	}
+	dd := float64(sp.DecisionDelay)
+	switch {
+	case mp >= q && mp >= dd:
+		return CauseMispredict
+	case q >= dd:
+		return CauseQueueing
+	default:
+		return CauseDecisionDelay
+	}
+}
+
+// PredErrRow aggregates per-request prediction error for one app ×
+// frequency-level cell: percentiles of |actual − predicted| service time
+// plus the signed mean (bias), the per-cell view of Table V's RMSE.
+type PredErrRow struct {
+	App   string
+	Level int
+	N     int
+	// AbsP50/AbsP95/AbsP99 are percentiles of |actual − predicted| in
+	// seconds; MeanSigned is the signed mean error (positive = the model
+	// under-predicts, the dangerous direction).
+	AbsP50, AbsP95, AbsP99 float64
+	MeanSigned             float64
+}
+
+// Audit is the aggregate explainability report built from retained spans:
+// how many violations happened, what caused each one, and how good the
+// predictions were per app × level. It answers the two questions PR-1
+// counters cannot: *why* did this tail miss, and *where* is the model
+// weakest.
+type Audit struct {
+	QoS        workload.QoS
+	Spans      int
+	Dropped    int
+	Violations int
+
+	// ByCause counts violations per attributed cause; every violating
+	// span lands in exactly one bucket (dropped requests are not
+	// violations — they never completed — and are reported separately).
+	ByCause map[Cause]int
+	// ViolationSpans retains the violating spans (copies) for drill-down.
+	ViolationSpans []Span
+	// PredErr rows are sorted by (app, level).
+	PredErr []PredErrRow
+
+	// MeanQueueDelay and MeanDecisionDelay are over all completed spans
+	// (seconds), for context next to the violation attribution.
+	MeanQueueDelay    float64
+	MeanDecisionDelay float64
+}
+
+// BuildAudit folds spans into the report. The QoS comes from the caller
+// (typically FlightRecorder.QoS()).
+func BuildAudit(spans []Span, qos workload.QoS) *Audit {
+	a := &Audit{QoS: qos, ByCause: map[Cause]int{}}
+	type cellKey struct {
+		app   string
+		level int
+	}
+	type cellAgg struct {
+		abs       []float64
+		signedSum float64
+		n         int
+	}
+	cells := map[cellKey]*cellAgg{}
+	var qSum, dSum float64
+	completed := 0
+	for _, sp := range spans {
+		a.Spans++
+		if sp.Dropped {
+			a.Dropped++
+			continue
+		}
+		completed++
+		qSum += float64(sp.QueueDelay())
+		dSum += float64(sp.DecisionDelay)
+		if err, ok := sp.PredictionError(); ok {
+			k := cellKey{sp.App, sp.Level}
+			c := cells[k]
+			if c == nil {
+				c = &cellAgg{}
+				cells[k] = c
+			}
+			c.abs = append(c.abs, math.Abs(err))
+			c.signedSum += err
+			c.n++
+		}
+		if sp.Sojourn() > qos.Latency {
+			a.Violations++
+			a.ByCause[Attribute(sp)]++
+			a.ViolationSpans = append(a.ViolationSpans, sp)
+		}
+	}
+	if completed > 0 {
+		a.MeanQueueDelay = qSum / float64(completed)
+		a.MeanDecisionDelay = dSum / float64(completed)
+	}
+	keys := make([]cellKey, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].app != keys[j].app {
+			return keys[i].app < keys[j].app
+		}
+		return keys[i].level < keys[j].level
+	})
+	for _, k := range keys {
+		c := cells[k]
+		a.PredErr = append(a.PredErr, PredErrRow{
+			App: k.app, Level: k.level, N: c.n,
+			AbsP50:     stats.Percentile(c.abs, 50),
+			AbsP95:     stats.Percentile(c.abs, 95),
+			AbsP99:     stats.Percentile(c.abs, 99),
+			MeanSigned: c.signedSum / float64(c.n),
+		})
+	}
+	return a
+}
+
+// Audit builds the report over the recorder's retained spans.
+func (fr *FlightRecorder) Audit() *Audit {
+	return BuildAudit(fr.Spans(), fr.cfg.QoS)
+}
+
+// Render prints the report in the experiments' table style.
+func (a *Audit) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Trace audit — %d spans (%d dropped), QoS %s\n", a.Spans, a.Dropped, a.QoS)
+	fmt.Fprintf(&b, "violations   %d", a.Violations)
+	if a.Violations > 0 {
+		b.WriteString("  (")
+		for i, c := range []Cause{CauseQueueing, CauseMispredict, CauseDecisionDelay} {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %d", c, a.ByCause[c])
+		}
+		b.WriteString(")")
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "mean queue delay %v   mean decision delay %v\n",
+		sim.Time(a.MeanQueueDelay), sim.Time(a.MeanDecisionDelay))
+	if len(a.PredErr) > 0 {
+		fmt.Fprintf(&b, "prediction |err| per app × level (n, p50, p95, p99, signed mean):\n")
+		for _, r := range a.PredErr {
+			fmt.Fprintf(&b, "  %-10s L%-2d  n=%-6d  %v  %v  %v  %+v\n",
+				r.App, r.Level, r.N,
+				sim.Time(r.AbsP50), sim.Time(r.AbsP95), sim.Time(r.AbsP99), sim.Time(r.MeanSigned))
+		}
+	}
+	return b.String()
+}

@@ -124,8 +124,19 @@ func (rec *Recorder) Complete(e *sim.Engine, w *server.Worker, r *workload.Reque
 	}
 }
 
-// Events returns the journal (the recorder's own slice; do not modify).
-func (rec *Recorder) Events() []Event { return rec.events }
+// Events returns a copy of the journal: callers may sort, filter or
+// mutate the result without corrupting the recorder (the previous
+// by-reference return let a caller's in-place sort scramble later CSV
+// exports and Validate runs).
+func (rec *Recorder) Events() []Event {
+	return append([]Event(nil), rec.events...)
+}
+
+// EventsUnsafe returns the recorder's own backing slice without copying.
+// Read-only hot paths (export loops over millions of events) may use it;
+// the caller must not modify the slice or retain it across further
+// recording.
+func (rec *Recorder) EventsUnsafe() []Event { return rec.events }
 
 // Len returns the journal length.
 func (rec *Recorder) Len() int { return len(rec.events) }
