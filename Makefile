@@ -9,6 +9,9 @@
 #   make bench-baseline  regenerate results/BENCH_sweep.json via cmd/benchjson
 #   make trace-check     fixed-seed Chrome trace vs committed golden bytes
 #   make trace-golden    rewrite the golden after an intentional format change
+#   make chaos-check     fault-injection suite: injector contracts, degradation
+#                        paths, live replays, sim matrix vs committed golden
+#   make chaos-golden    rewrite the chaos golden after an intentional change
 #   make smoke   build-and-run every example and command briefly
 #   make check   build + vet + test (the pre-commit bundle)
 
@@ -22,7 +25,7 @@ GO ?= go
 HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep)'
 HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments
 
-.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden smoke check clean
+.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden smoke check clean
 
 build:
 	$(GO) build ./...
@@ -55,6 +58,18 @@ trace-check:
 
 trace-golden:
 	$(GO) test -run TestChromeTraceGolden -count=1 ./internal/trace -update
+
+# The fault-injection and graceful-degradation suite (DESIGN.md §9):
+# injector determinism and zero-alloc contracts, DVFS retry/fallback and
+# shedding paths, fixed-seed live replays of the built-in plans, and the
+# simulator chaos matrix compared byte-for-byte against its golden.
+# chaos-golden rewrites the committed matrix after an intentional change.
+CHAOS_TESTS = 'TestInjector|TestFault|TestPlan|TestCorrupting|TestApplyLevel|TestSysfsBackendReconcile|TestShed|TestClientRetries|TestDeadlineDrop|TestServerExecFault|TestChaos|TestLiveChaos'
+chaos-check:
+	$(GO) test -count=1 -run $(CHAOS_TESTS) ./internal/fault ./internal/live ./internal/experiments
+
+chaos-golden:
+	$(GO) test -run TestChaosSimGolden -count=1 ./internal/experiments -update
 
 smoke:
 	$(GO) test -run TestSmoke -v .

@@ -22,6 +22,7 @@ import (
 
 	"retail/internal/core"
 	"retail/internal/cpu"
+	"retail/internal/fault"
 	"retail/internal/live"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
@@ -38,6 +39,7 @@ func main() {
 		sysfsDir    = flag.String("sysfs-root", "/sys/devices/system/cpu", "cpufreq root")
 		coresArg    = flag.String("cores", "", "comma-separated physical cores for -sysfs")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. :9090)")
+		faultPlan   = flag.String("fault-plan", "", "replay a named fault plan against the runtime (see retail-chaos -list)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,24 @@ func main() {
 		*scale = 1 // real hardware runs in real time
 	}
 
+	// Optional chaos: wrap the backend with the fault injector and enable
+	// the degradation policy so the run demonstrates the recovery story.
+	var inj *fault.Injector
+	var plan *fault.Plan
+	var degrade live.DegradePolicy
+	if *faultPlan != "" {
+		plan, err = fault.PlanByName(*faultPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall := fault.WallClock()
+		s := *scale
+		inj = fault.New(1, plan).WithClock(func() float64 { return wall() / s })
+		backend = live.NewFaultyBackend(backend, inj)
+		degrade = live.DefaultChaosPolicy()
+		log.Printf("fault plan %s", plan)
+	}
+
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
 		reg = telemetry.NewRegistry()
@@ -81,6 +101,8 @@ func main() {
 		Exec:      live.DemoExecutor(app, mock, *scale),
 		Metrics:   reg,
 		AppName:   app.Name(),
+		Faults:    inj,
+		Degrade:   degrade,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -103,10 +125,14 @@ func main() {
 	}
 	log.Printf("serving on %s; loading at %.0f RPS for %v", srv.Addr(), *rps, *duration)
 
-	res, err := live.RunClient(live.ClientConfig{
+	ccfg := live.ClientConfig{
 		Addr: srv.Addr(), App: app, RPS: *rps, Duration: *duration,
 		Conns: 8, Seed: 7, TimeScale: *scale,
-	})
+	}
+	if plan != nil {
+		ccfg.Burst = plan.Burst
+	}
+	res, err := live.RunClient(ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,6 +144,14 @@ qos'        %v (target %v × scale %.2f)
 `, res.Sent, res.Completed, res.P50, res.P95, res.P99, res.Mean,
 		srv.Decisions(), mock.Writes(), srv.QoSPrime(),
 		time.Duration(float64(app.QoS().Latency)*1e9), *scale)
+	if inj != nil {
+		deg := srv.DegradeCounts()
+		fmt.Printf(`chaos       injected %d faults; client retries %d, lost %d
+recovery    dvfs errors %d  retries %d  fallbacks %d  shed %d  deadline drops %d  pinned %d
+`, inj.FiredTotal(), res.Retries, res.Lost,
+			deg.DVFSWriteErrors, deg.DVFSRetries, deg.DVFSFallbacks,
+			deg.Shed, deg.DeadlineDrops, srv.PinnedWorkers())
+	}
 }
 
 // validateFlags checks flag combinations up front so misconfiguration

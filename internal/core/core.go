@@ -149,6 +149,21 @@ func (c *Calibration) NewReTail() *manager.ReTail {
 	return m
 }
 
+// NewReTailWith constructs the ReTail manager with a substitute predictor
+// wrapped around (or replacing) the calibrated model — the chaos runner
+// uses this to interpose fault.CorruptingPredictor without the manager
+// package learning about fault injection.
+func (c *Calibration) NewReTailWith(model predict.Predictor) *manager.ReTail {
+	cfg := manager.DefaultReTailConfig()
+	cfg.Layout = c.Layout
+	cfg.Model = model
+	cfg.Training = c.Training.Clone()
+	cfg.Stage1Frac = c.Stage1Frac()
+	m := manager.NewReTail(c.App.QoS(), cfg)
+	m.SetDriftBaseline(c.BaselineRMSEOverQoS)
+	return m
+}
+
 // Stage1Frac derives the per-request feature-extraction split point: the
 // max lateness among selected application features that actually vary
 // within the request's category (a PAYMENT transaction does not wait for

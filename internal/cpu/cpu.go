@@ -13,6 +13,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"retail/internal/sim"
@@ -67,6 +68,20 @@ func (g *Grid) MaxLevel() Level { return Level(len(g.freqs) - 1) }
 // MinFreq and MaxFreq return the grid extremes in GHz.
 func (g *Grid) MinFreq() float64 { return g.freqs[0] }
 func (g *Grid) MaxFreq() float64 { return g.freqs[len(g.freqs)-1] }
+
+// Nearest returns the level whose frequency is closest to fGHz (ties go
+// to the lower level). Used to reconcile externally observed hardware
+// state — e.g. re-reading a cpufreq file after a failed or partial DVFS
+// write — back onto the grid.
+func (g *Grid) Nearest(fGHz float64) Level {
+	best, bestDist := Level(0), math.Abs(g.freqs[0]-fGHz)
+	for i := 1; i < len(g.freqs); i++ {
+		if d := math.Abs(g.freqs[i] - fGHz); d < bestDist {
+			best, bestDist = Level(i), d
+		}
+	}
+	return best
+}
 
 // Clamp restricts l to a valid level.
 func (g *Grid) Clamp(l Level) Level {

@@ -1,0 +1,32 @@
+package cpu
+
+import "testing"
+
+// TestGridNearest pins the reconcile mapping: observed frequencies snap
+// to the closest grid level, ties go to the lower level, and out-of-range
+// values clamp to the grid edges.
+func TestGridNearest(t *testing.T) {
+	g, err := NewGrid([]float64{1.0, 1.4, 2.0, 2.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		f    float64
+		want Level
+	}{
+		{1.0, 0},  // exact
+		{1.05, 0}, // closest below midpoint
+		{1.2, 0},  // tie 1.0↔1.4 → lower level
+		{1.25, 1}, // just past the midpoint
+		{1.8, 2},  // closest to 2.0
+		{2.3, 2},  // tie 2.0↔2.6 → lower level
+		{2.35, 3},
+		{0.2, 0},   // below the grid clamps to min
+		{9.9, 3},   // above the grid clamps to max
+		{-1.0, 0},  // nonsense reading still lands on the grid
+	} {
+		if got := g.Nearest(tc.f); got != tc.want {
+			t.Errorf("Nearest(%.2f) = %d, want %d", tc.f, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"retail/internal/fault"
+	"retail/internal/telemetry"
+)
+
+var updateChaosGolden = flag.Bool("update", false, "rewrite the chaos golden file")
+
+// TestChaosSimGolden pins the deterministic simulator chaos matrix: two
+// in-process runs must render byte-identically, and the render must match
+// the committed golden (refresh with -update). This is the `retail-chaos
+// -sim` output at the default seed, so the golden doubles as CLI
+// documentation.
+func TestChaosSimGolden(t *testing.T) {
+	cfg := Quick()
+	cfg.Seed = 42
+	a, err := ChaosAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Render()
+	if got != b.Render() {
+		t.Fatal("ChaosAll is not deterministic: two runs with the same seed rendered differently")
+	}
+	golden := filepath.Join("testdata", "chaos_golden.txt")
+	if *updateChaosGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("chaos render diverges from golden at line %d:\n got: %q\nwant: %q\n(run with -update after intentional changes)", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("chaos render diverges from golden in length: got %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+// TestChaosSimInjectsAndRecovers checks the matrix semantics rather than
+// the exact bytes: every faulted cell actually injected something, and the
+// ReTail cells show the recovery hooks the plans are designed to hit.
+func TestChaosSimInjectsAndRecovers(t *testing.T) {
+	cfg := Quick()
+	cfg.Seed = 42
+	res, err := ChaosAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	seen := map[string]bool{}
+	for _, c := range res.Cells {
+		seen[c.Plan+"/"+c.Manager] = true
+		if c.Completed == 0 {
+			t.Errorf("%s/%s: no requests completed", c.Plan, c.Manager)
+		}
+		switch c.Plan {
+		case "drift-step":
+			// Drift is applied (and recorded) for every manager, and the
+			// inflated service times must show up in the measured tail.
+			if c.Injected[fault.SiteDrift] == 0 {
+				t.Errorf("drift-step/%s: drift never recorded", c.Manager)
+			}
+			if c.FaultTail <= c.BaseTail {
+				t.Errorf("drift-step/%s: fault tail %.4f ≤ base tail %.4f",
+					c.Manager, c.FaultTail, c.BaseTail)
+			}
+			// ReTail's drift detector must trip and retrain.
+			if c.Manager == "retail" && c.Retrains == 0 {
+				t.Errorf("drift-step/retail: no retrains — drift recovery never engaged")
+			}
+		case "overload-burst":
+			// The burst lives in the arrival process, not the injector; its
+			// signature is a degraded tail during the window.
+			if c.FaultTail <= c.BaseTail {
+				t.Errorf("overload-burst/%s: fault tail %.4f ≤ base tail %.4f",
+					c.Manager, c.FaultTail, c.BaseTail)
+			}
+		case "predictor-skew":
+			// Only ReTail consults the (corrupted) predictor.
+			if c.Manager == "retail" && c.Injected[fault.SitePredict] == 0 {
+				t.Error("predictor-skew/retail: corrupting predictor never fired")
+			}
+		}
+	}
+	for _, want := range []string{
+		"drift-step/retail", "overload-burst/rubik", "predictor-skew/gemini",
+	} {
+		if !seen[want] {
+			t.Fatalf("matrix is missing the %s cell", want)
+		}
+	}
+	// The faulted retail runs carry an audit trail.
+	if len(res.Audits) == 0 {
+		t.Fatal("no audits attached to the faulted retail runs")
+	}
+}
+
+// liveChaosCase describes the plan-specific health assertions for one
+// wall-clock replay.
+type liveChaosCase struct {
+	plan  string
+	check func(t *testing.T, rep *LiveChaosReport)
+}
+
+// TestLiveChaosHealth replays each live fault plan against the wall-clock
+// runtime and checks the degradation contract: the recovery machinery did
+// visible work, the server ended consistent with its backend, QoS′ stayed
+// inside the monitor's clamp band, and no goroutines leaked.
+func TestLiveChaosHealth(t *testing.T) {
+	cases := []liveChaosCase{
+		{"dvfs-flaky", func(t *testing.T, rep *LiveChaosReport) {
+			if rep.Counts.DVFSWriteErrors == 0 {
+				t.Error("dvfs-flaky: no DVFS write errors recorded")
+			}
+			if rep.Counts.DVFSRetries == 0 {
+				t.Error("dvfs-flaky: no DVFS retries — the retry path never engaged")
+			}
+			if rep.Injected[fault.SiteDVFSWrite] == 0 {
+				t.Error("dvfs-flaky: injector fired nothing at the DVFS site")
+			}
+		}},
+		{"overload-burst", func(t *testing.T, rep *LiveChaosReport) {
+			if rep.Counts.Shed == 0 {
+				t.Error("overload-burst: admission control shed nothing under the burst")
+			}
+			if rep.Retries == 0 {
+				t.Error("overload-burst: client never retried a shed request")
+			}
+		}},
+		{"drift-step", func(t *testing.T, rep *LiveChaosReport) {
+			if rep.Injected[fault.SiteDrift] != 1 {
+				t.Errorf("drift-step: drift recorded %d times, want 1", rep.Injected[fault.SiteDrift])
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.plan, func(t *testing.T) {
+			plan, err := fault.PlanByName(tc.plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := runtime.NumGoroutine()
+			reg := telemetry.NewRegistry()
+			rep, err := RunLiveChaos(LiveChaosConfig{
+				Plan:            plan,
+				TimeScale:       0.15,
+				SamplesPerLevel: 200,
+				Seed:            42,
+				Registry:        reg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completed == 0 {
+				t.Error("no requests completed")
+			}
+			if !rep.GridConsistent {
+				t.Error("server's applied levels disagree with the backend after shutdown")
+			}
+			lo := time.Duration(0.02 * float64(rep.QoS))
+			hi := time.Duration(1.1 * float64(rep.QoS))
+			if rep.QoSPrime < lo || rep.QoSPrime > hi {
+				t.Errorf("QoS' %v escaped the clamp band [%v, %v]", rep.QoSPrime, lo, hi)
+			}
+			tc.check(t, rep)
+			// The injector's counters must have landed in the schema scrape.
+			var sb strings.Builder
+			if err := reg.WriteText(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), telemetry.MetricFaultsInjected) {
+				t.Error("scrape is missing the faults-injected counter family")
+			}
+			// Everything the replay started must be gone.
+			deadline := time.Now().Add(3 * time.Second)
+			for runtime.NumGoroutine() > before+2 {
+				if time.Now().After(deadline) {
+					t.Fatalf("goroutine leak: %d running, started with %d",
+						runtime.NumGoroutine(), before)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		})
+	}
+}

@@ -14,12 +14,15 @@ package live
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 
 	"retail/internal/cpu"
+	"retail/internal/fault"
 )
 
 // Backend applies a frequency decision to a physical (or mocked) core.
@@ -80,10 +83,20 @@ func (b *MockBackend) Writes() int {
 // normally /sys/devices/system/cpu. The paper uses exactly this interface
 // (ACPI driver, "userspace" governor, §VII-A). Construction verifies the
 // files are writable so misconfiguration fails fast.
+//
+// SetLevel is failure-aware: a failed or partial write leaves the
+// hardware at an unknown frequency, so the backend reconciles by
+// re-reading the cpufreq files (scaling_cur_freq when present, else
+// scaling_setspeed) and mapping the observed kHz back onto the grid.
+// Applied reports the reconciled per-core level so callers never carry a
+// grid state the hardware does not hold.
 type SysfsBackend struct {
 	grid  *cpu.Grid
 	root  string
 	cores []int
+
+	mu    sync.Mutex
+	known map[int]cpu.Level // core index → last reconciled hardware level
 }
 
 // NewSysfsBackend validates that every listed core's scaling_setspeed
@@ -92,31 +105,154 @@ func NewSysfsBackend(grid *cpu.Grid, root string, cores []int) (*SysfsBackend, e
 	if len(cores) == 0 {
 		return nil, fmt.Errorf("live: no cores given")
 	}
-	b := &SysfsBackend{grid: grid, root: root, cores: cores}
+	b := &SysfsBackend{grid: grid, root: root, cores: cores, known: map[int]cpu.Level{}}
 	for _, c := range cores {
-		p := b.path(c)
+		p := b.setspeedPath(c)
 		f, err := os.OpenFile(p, os.O_WRONLY, 0)
 		if err != nil {
 			return nil, fmt.Errorf("live: cpufreq not writable: %w", err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("live: cpufreq close: %w", err)
+		}
 	}
 	return b, nil
 }
 
-func (b *SysfsBackend) path(core int) string {
+func (b *SysfsBackend) setspeedPath(core int) string {
 	return filepath.Join(b.root, fmt.Sprintf("cpu%d", core), "cpufreq", "scaling_setspeed")
+}
+
+func (b *SysfsBackend) curFreqPath(core int) string {
+	return filepath.Join(b.root, fmt.Sprintf("cpu%d", core), "cpufreq", "scaling_cur_freq")
 }
 
 // Grid implements Backend.
 func (b *SysfsBackend) Grid() *cpu.Grid { return b.grid }
 
 // SetLevel implements Backend: writes the frequency in kHz, as cpufreq
-// expects.
+// expects. On any failure — including a partial write, which previously
+// leaked a grid level out of sync with the hardware — it reconciles the
+// recorded level by re-reading the frequency files before returning the
+// error, so Applied always reflects the hardware's best-known state.
 func (b *SysfsBackend) SetLevel(core int, lvl cpu.Level) error {
 	if core < 0 || core >= len(b.cores) {
 		return fmt.Errorf("live: core index %d out of range", core)
 	}
-	khz := int(b.grid.Freq(b.grid.Clamp(lvl)) * 1e6)
-	return os.WriteFile(b.path(b.cores[core]), []byte(strconv.Itoa(khz)), 0o644)
+	lvl = b.grid.Clamp(lvl)
+	khz := strconv.Itoa(int(b.grid.Freq(lvl) * 1e6))
+	if err := writeFull(b.setspeedPath(b.cores[core]), khz); err != nil {
+		b.reconcile(core)
+		return fmt.Errorf("live: cpufreq write cpu%d: %w", b.cores[core], err)
+	}
+	b.mu.Lock()
+	b.known[core] = lvl
+	b.mu.Unlock()
+	return nil
+}
+
+// writeFull writes s in one write call and treats a short write as an
+// error even when the kernel reports success, closing the partial-write
+// blind spot of os.WriteFile-style helpers.
+func writeFull(path, s string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	n, werr := f.WriteString(s)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if n < len(s) {
+		return fmt.Errorf("wrote %d of %d bytes: %w", n, len(s), io.ErrShortWrite)
+	}
+	return cerr
+}
+
+// reconcile re-reads the core's frequency from sysfs after a failed
+// write and snaps it to the nearest grid level. scaling_cur_freq (what
+// the hardware is actually doing) is preferred; scaling_setspeed (the
+// last accepted request) is the fallback. If neither parses, the core's
+// level is marked unknown.
+func (b *SysfsBackend) reconcile(core int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range []string{b.curFreqPath(b.cores[core]), b.setspeedPath(b.cores[core])} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		khz, err := strconv.Atoi(strings.TrimSpace(string(data)))
+		if err != nil || khz <= 0 {
+			continue
+		}
+		b.known[core] = b.grid.Nearest(float64(khz) / 1e6)
+		return
+	}
+	delete(b.known, core) // hardware state unknown
+}
+
+// Applied returns the last reconciled hardware level for the core and
+// whether it is known (false before the first successful write or after
+// an unreconcilable failure).
+func (b *SysfsBackend) Applied(core int) (cpu.Level, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lvl, ok := b.known[core]
+	return lvl, ok
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injecting backend wrapper.
+
+// FaultyBackend wraps any Backend with the SiteDVFSWrite injection point:
+//
+//	KindEIO / KindEPERM   — the write fails before reaching the inner
+//	                        backend; the hardware level is unchanged.
+//	KindPartialWrite      — the inner backend is driven to a *different*
+//	                        level than requested, then an ErrInjectedShortWrite
+//	                        is returned: the hardware is now out of sync
+//	                        with what the caller believes, exactly the
+//	                        state SysfsBackend.SetLevel reconciles.
+//
+// With a nil injector (or no SiteDVFSWrite plan) the wrapper is a
+// transparent pass-through.
+type FaultyBackend struct {
+	inner Backend
+	inj   *fault.Injector
+}
+
+// NewFaultyBackend wraps inner with the injector's DVFS-write site.
+func NewFaultyBackend(inner Backend, inj *fault.Injector) *FaultyBackend {
+	return &FaultyBackend{inner: inner, inj: inj}
+}
+
+// Grid implements Backend.
+func (b *FaultyBackend) Grid() *cpu.Grid { return b.inner.Grid() }
+
+// Unwrap returns the inner backend (tests reach through to assert
+// hardware state).
+func (b *FaultyBackend) Unwrap() Backend { return b.inner }
+
+// SetLevel implements Backend with injection.
+func (b *FaultyBackend) SetLevel(core int, lvl cpu.Level) error {
+	f, ok := b.inj.Fire(fault.SiteDVFSWrite)
+	if !ok {
+		return b.inner.SetLevel(core, lvl)
+	}
+	switch f.Kind {
+	case fault.KindPartialWrite:
+		// The truncated value parses as a lower frequency: drive the
+		// hardware to the grid minimum, then report the short write.
+		if err := b.inner.SetLevel(core, 0); err != nil {
+			return err
+		}
+		return fmt.Errorf("live: cpufreq write cpu%d: %w", core, f.Err())
+	default:
+		if err := f.Err(); err != nil {
+			return err
+		}
+		return b.inner.SetLevel(core, lvl)
+	}
 }

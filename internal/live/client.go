@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"retail/internal/cpu"
+	"retail/internal/fault"
 	"retail/internal/sim"
 	"retail/internal/workload"
 )
@@ -63,17 +64,37 @@ type ClientConfig struct {
 	Seed     int64
 	// TimeScale must match the executor's so client-side pacing aligns.
 	TimeScale float64
+	// MaxRetries bounds how often a shed (Dropped) response is retried
+	// before the request counts as lost. 0 selects the default (3);
+	// negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the initial retry delay, doubling per attempt with
+	// ±50% deterministic jitter so synchronized clients do not re-arrive
+	// in lockstep (0 = 2ms, scaled by TimeScale).
+	RetryBackoff time.Duration
+	// Burst, when non-nil, multiplies the arrival rate by Burst.Factor
+	// between Burst.From and Burst.Until seconds into the run — the
+	// overload window of the chaos plans.
+	Burst *fault.Burst
 }
 
-// ClientResult aggregates client-observed latencies.
+// ClientResult aggregates client-observed latencies and the degradation
+// interplay: how many sends were shed, retried, and finally lost.
 type ClientResult struct {
 	Sent, Completed int
-	P50, P95, P99   time.Duration
-	Mean            time.Duration
+	// Retries counts re-sends after a shed response; Lost counts requests
+	// abandoned after the retry budget (they appear in Sent but not in
+	// Completed and contribute no latency sample).
+	Retries, Lost int
+	P50, P95, P99 time.Duration
+	Mean          time.Duration
 }
 
 // RunClient sends Poisson-spaced requests over a small connection pool and
-// measures sojourn times client-side (t3 − t1, §V-C).
+// measures sojourn times client-side (t3 − t1, §V-C). Shed responses
+// (Dropped) are retried with jittered exponential backoff up to the retry
+// budget; the latency sample for a retried request spans from its FIRST
+// send, so shedding shows up as tail latency, not as silent loss.
 func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	if cfg.Conns <= 0 {
 		cfg.Conns = 4
@@ -81,11 +102,23 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 1
 	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff0 := cfg.RetryBackoff
+	if backoff0 <= 0 {
+		backoff0 = time.Duration(float64(2*time.Millisecond) * cfg.TimeScale)
+	}
+
 	type job struct{ req Request }
 	jobs := make(chan job, 1024)
 	var mu sync.Mutex
 	var lats []float64
-	completed := 0
+	completed, retries, lost := 0, 0, 0
 
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Conns; c++ {
@@ -94,35 +127,72 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 			return nil, fmt.Errorf("live: dial: %w", err)
 		}
 		wg.Add(1)
-		go func(conn net.Conn) {
+		go func(conn net.Conn, connIdx int) {
 			defer wg.Done()
 			defer conn.Close()
 			enc := json.NewEncoder(conn)
 			dec := json.NewDecoder(conn)
+			// Per-conn RNG: jitter stays deterministic for a fixed seed
+			// without contending on a shared source.
+			jrng := rand.New(rand.NewSource(cfg.Seed*31 + int64(connIdx)))
 			for j := range jobs {
-				j.req.GenNs = time.Now().UnixNano()
-				if err := enc.Encode(j.req); err != nil {
-					return
+				first := time.Now().UnixNano()
+				backoff := backoff0
+				done := false
+				for attempt := 0; ; attempt++ {
+					j.req.GenNs = time.Now().UnixNano()
+					if err := enc.Encode(j.req); err != nil {
+						return
+					}
+					var resp Response
+					if err := dec.Decode(&resp); err != nil {
+						return
+					}
+					if !resp.Dropped {
+						lat := float64(resp.EndNs-first) / 1e9
+						mu.Lock()
+						lats = append(lats, lat)
+						completed++
+						mu.Unlock()
+						done = true
+						break
+					}
+					if attempt >= maxRetries {
+						break
+					}
+					// ±50% jitter so synchronized clients desynchronize.
+					jit := 0.5 + jrng.Float64()
+					mu.Lock()
+					retries++
+					mu.Unlock()
+					time.Sleep(time.Duration(float64(backoff) * jit))
+					backoff *= 2
 				}
-				var resp Response
-				if err := dec.Decode(&resp); err != nil {
-					return
+				if !done {
+					mu.Lock()
+					lost++
+					mu.Unlock()
 				}
-				lat := float64(resp.EndNs-j.req.GenNs) / 1e9
-				mu.Lock()
-				lats = append(lats, lat)
-				completed++
-				mu.Unlock()
 			}
-		}(conn)
+		}(conn, c)
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
 	sent := 0
 	var id uint64
 	for time.Now().Before(deadline) {
-		gap := time.Duration(rng.ExpFloat64() / cfg.RPS * float64(time.Second))
+		rps := cfg.RPS
+		if b := cfg.Burst; b != nil && b.Factor > 0 {
+			// Burst windows are expressed on the canonical timeline;
+			// TimeScale maps them onto the wall clock.
+			el := time.Since(start).Seconds() / cfg.TimeScale
+			if el >= b.From && el < b.Until {
+				rps *= b.Factor
+			}
+		}
+		gap := time.Duration(rng.ExpFloat64() / rps * float64(time.Second))
 		time.Sleep(gap)
 		r := cfg.App.Generate(rng)
 		id++
@@ -132,7 +202,7 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	close(jobs)
 	wg.Wait()
 
-	res := &ClientResult{Sent: sent, Completed: completed}
+	res := &ClientResult{Sent: sent, Completed: completed, Retries: retries, Lost: lost}
 	if len(lats) > 0 {
 		sort.Float64s(lats)
 		pick := func(p float64) time.Duration {

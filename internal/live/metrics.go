@@ -23,6 +23,14 @@ type liveMetrics struct {
 	decisions  *telemetry.Counter
 	residency  []*telemetry.Counter // indexed by decided level
 	qosSeconds float64
+
+	// Graceful-degradation instruments.
+	shed          *telemetry.Counter
+	deadlineDrops *telemetry.Counter
+	dvfsRetries   *telemetry.Counter
+	dvfsFallbacks *telemetry.Counter
+	dvfsErrors    *telemetry.Counter
+	pinned        *telemetry.Gauge
 }
 
 // newLiveMetrics registers the runtime's instruments under app.
@@ -45,6 +53,18 @@ func newLiveMetrics(reg *telemetry.Registry, app string, grid *cpu.Grid, qosSeco
 			"Internal latency target QoS' steered by the latency monitor.", appLabel),
 		decisions: reg.Counter(telemetry.MetricDecisionsTotal,
 			"Algorithm 1 frequency decisions.", appLabel),
+		shed: reg.Counter(telemetry.MetricDroppedTotal,
+			"Arrivals shed by admission control (load shedding).", appLabel),
+		deadlineDrops: reg.Counter(telemetry.MetricDeadlineTimeouts,
+			"Queued requests dropped at dequeue: waiting time alone exceeded the deadline budget.", appLabel),
+		dvfsRetries: reg.Counter(telemetry.MetricDVFSRetries,
+			"DVFS write retries after a failure.", appLabel),
+		dvfsFallbacks: reg.Counter(telemetry.MetricDVFSFallbacks,
+			"DVFS retry budgets exhausted; worker pinned at max frequency.", appLabel),
+		dvfsErrors: reg.Counter(telemetry.MetricDVFSWriteErrors,
+			"Failed DVFS write attempts, including failed retries.", appLabel),
+		pinned: reg.Gauge(telemetry.MetricWorkersPinned,
+			"Workers currently pinned at max frequency by the DVFS fallback.", appLabel),
 		qosSeconds: qosSeconds,
 	}
 	for lvl := 0; lvl < grid.Levels(); lvl++ {
@@ -95,4 +115,46 @@ func (m *liveMetrics) incDecisions() {
 		return
 	}
 	m.decisions.Inc()
+}
+
+func (m *liveMetrics) incShed() {
+	if m == nil {
+		return
+	}
+	m.shed.Inc()
+}
+
+func (m *liveMetrics) incDeadlineDrop() {
+	if m == nil {
+		return
+	}
+	m.deadlineDrops.Inc()
+}
+
+func (m *liveMetrics) incDVFSRetry() {
+	if m == nil {
+		return
+	}
+	m.dvfsRetries.Inc()
+}
+
+func (m *liveMetrics) incDVFSFallback() {
+	if m == nil {
+		return
+	}
+	m.dvfsFallbacks.Inc()
+}
+
+func (m *liveMetrics) incDVFSWriteError() {
+	if m == nil {
+		return
+	}
+	m.dvfsErrors.Inc()
+}
+
+func (m *liveMetrics) setPinned(n int) {
+	if m == nil {
+		return
+	}
+	m.pinned.Set(float64(n))
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"retail/internal/cpu"
+	"retail/internal/fault"
 	"retail/internal/predict"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
@@ -25,13 +26,16 @@ type Request struct {
 }
 
 // Response returns the server-side timestamps so the client can compute
-// sojourn and service time.
+// sojourn and service time. Dropped marks a request refused by admission
+// control or timed out in the queue — it never executed, and the client's
+// retry policy decides what happens next.
 type Response struct {
 	ID      uint64 `json:"id"`
 	RecvNs  int64  `json:"recv_ns"`
 	StartNs int64  `json:"start_ns"`
 	EndNs   int64  `json:"end_ns"`
 	Level   int    `json:"level"`
+	Dropped bool   `json:"dropped,omitempty"`
 }
 
 // Executor performs the actual request work at the backend's current
@@ -60,12 +64,29 @@ type ServerConfig struct {
 	// TraceCapacity bounds the /debug/trace flight ring of recent
 	// completed requests (0 = 2048; negative disables recording).
 	TraceCapacity int
+	// Faults, when non-nil, is the chaos injector: the server consults
+	// SiteExec before running each request (latency spikes/stalls). DVFS
+	// faults arrive through the Backend (wrap it with NewFaultyBackend
+	// sharing the same injector). Nil costs the hot path one branch.
+	Faults *fault.Injector
+	// Degrade tunes the graceful-degradation machinery; the zero value
+	// keeps DVFS retry/fallback at safe defaults and leaves admission
+	// control and deadline timeouts off.
+	Degrade DegradePolicy
 }
 
 type queuedReq struct {
 	req  Request
 	recv time.Time
 	done chan Response
+}
+
+// timedSojourn timestamps a completion so the monitor's window can be
+// pruned by age — without pruning, one bad burst pins the measured tail
+// high forever and QoS′ can only ratchet down, never recover.
+type timedSojourn struct {
+	at time.Time
+	v  float64 // sojourn seconds
 }
 
 // Server is the wall-clock ReTail runtime: one goroutine per worker core
@@ -79,7 +100,7 @@ type Server struct {
 	mu       sync.Mutex
 	queues   [][]*queuedReq
 	qosPrime time.Duration
-	window   []float64 // recent sojourn seconds
+	window   []timedSojourn // recent completions, pruned by age
 	closed   bool
 	conns    map[net.Conn]struct{}
 
@@ -89,6 +110,12 @@ type Server struct {
 
 	decisions uint64
 	metrics   *liveMetrics // nil when cfg.Metrics is nil
+
+	// Graceful degradation (see degrade.go): normalized policy, recovery
+	// counters, and the per-worker believed-hardware-level table.
+	policy  DegradePolicy
+	deg     degradeState
+	applied []appliedState
 
 	// Flight ring for /debug/trace (guarded by mu; see debug.go).
 	spans    []LiveSpan
@@ -117,6 +144,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		qosPrime: time.Duration(float64(cfg.QoS.Latency) * 1e9),
 		stop:     make(chan struct{}),
 		conns:    map[net.Conn]struct{}{},
+		policy:   cfg.Degrade.normalize(),
+		applied:  make([]appliedState, cfg.Workers),
 	}
 	switch {
 	case cfg.TraceCapacity == 0:
@@ -242,15 +271,32 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// enqueue joins the shortest queue (the simulator's JSQ policy).
+// enqueue joins the shortest queue (the simulator's JSQ policy). With
+// admission control enabled it sheds the arrival instead when even the
+// shortest queue's drain estimate — (depth+1) requests at the request's
+// predicted max-frequency service time — exceeds ShedFactor × QoS′:
+// accepting a request that provably cannot meet the deadline only wastes
+// energy and delays requests that still can.
 func (s *Server) enqueue(req Request, done chan Response) {
 	q := &queuedReq{req: req, recv: time.Now(), done: done}
+	var svcAtMax float64
+	if s.policy.ShedFactor > 0 {
+		svcAtMax = s.cfg.Predictor.Predict(s.grid.MaxLevel(), req.Features)
+	}
 	s.mu.Lock()
 	best, bestLen := 0, len(s.queues[0])
 	for i := 1; i < len(s.queues); i++ {
 		if len(s.queues[i]) < bestLen {
 			best, bestLen = i, len(s.queues[i])
 		}
+	}
+	if s.policy.ShedFactor > 0 &&
+		float64(bestLen+1)*svcAtMax > s.policy.ShedFactor*s.qosPrime.Seconds() {
+		s.mu.Unlock()
+		s.deg.shed.Add(1)
+		s.metrics.incShed()
+		done <- Response{ID: req.ID, RecvNs: q.recv.UnixNano(), Dropped: true}
+		return
 	}
 	s.queues[best] = append(s.queues[best], q)
 	depth := s.queuedLocked()
@@ -293,27 +339,40 @@ func (s *Server) worker(id int) {
 				return
 			}
 		}
-		lvl, predicted, qlen, qp := s.decide(id, q)
-		if err := s.cfg.Backend.SetLevel(id, lvl); err == nil {
-			// Frequency applied; nothing else to do — the executor runs
-			// the request at whatever the hardware now provides.
-			_ = err
+		// Deadline timeout: a request whose queueing delay alone already
+		// blew the budget is dropped before the (pointless) execution.
+		if s.policy.DeadlineFactor > 0 &&
+			time.Since(q.recv) > time.Duration(s.policy.DeadlineFactor*float64(s.cfg.QoS.Latency)*float64(time.Second)) {
+			s.deg.deadline.Add(1)
+			s.metrics.incDeadlineDrop()
+			q.done <- Response{ID: q.req.ID, RecvNs: q.recv.UnixNano(), Dropped: true}
+			continue
 		}
+		lvl, predicted, qlen, qp := s.decide(id, q)
+		// Drive the hardware with bounded retry; on exhaustion applyLevel
+		// pins the worker at max frequency (see degrade.go). The executor
+		// runs at the level the hardware actually holds, not the wish.
+		applied := s.applyLevel(id, lvl)
 		start := time.Now()
-		s.cfg.Exec(q.req, lvl)
+		if f, ok := s.cfg.Faults.Fire(fault.SiteExec); ok {
+			// Injected executor latency spike/stall, part of the measured
+			// service time — exactly how a real slow execution would look.
+			time.Sleep(time.Duration(f.Magnitude * float64(time.Second)))
+		}
+		s.cfg.Exec(q.req, applied)
 		end := time.Now()
 		sojourn := end.Sub(time.Unix(0, q.req.GenNs))
-		s.metrics.observeCompletion(sojourn, end.Sub(start), lvl)
+		s.metrics.observeCompletion(sojourn, end.Sub(start), applied)
 		s.recordSpan(LiveSpan{
 			ID: q.req.ID, Worker: id,
 			RecvNs: q.recv.UnixNano(), StartNs: start.UnixNano(), EndNs: end.UnixNano(),
-			Level: int(lvl), QueueLen: qlen, QoSPrimeNs: qp.Nanoseconds(),
+			Level: int(applied), QueueLen: qlen, QoSPrimeNs: qp.Nanoseconds(),
 			PredictedS: predicted, ActualS: end.Sub(start).Seconds(),
 			SojournS: sojourn.Seconds(),
 			Violated: sojourn.Seconds() > float64(s.cfg.QoS.Latency),
 		})
 		s.mu.Lock()
-		s.window = append(s.window, sojourn.Seconds())
+		s.window = append(s.window, timedSojourn{at: end, v: sojourn.Seconds()})
 		if len(s.window) > 4096 {
 			s.window = s.window[len(s.window)-4096:]
 		}
@@ -323,7 +382,7 @@ func (s *Server) worker(id int) {
 			RecvNs:  q.recv.UnixNano(),
 			StartNs: start.UnixNano(),
 			EndNs:   end.UnixNano(),
-			Level:   int(lvl),
+			Level:   int(applied),
 		}
 	}
 }
@@ -368,22 +427,39 @@ func (s *Server) decide(id int, head *queuedReq) (cpu.Level, float64, int, time.
 	return maxLvl, s.cfg.Predictor.Predict(maxLvl, head.req.Features), len(queue), qosPrime
 }
 
-// monitor is the QoS′ loop: compare the recent tail with the target.
+// monitor is the QoS′ loop: compare the recent tail with the target. The
+// window is pruned by age (20 monitor intervals — 2 s at the default
+// interval, matching the simulator's monitor span) so QoS′ recovers after
+// a bad episode drains instead of ratcheting down permanently.
 func (s *Server) monitor() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.MonitorInterval)
 	defer ticker.Stop()
 	target := float64(s.cfg.QoS.Latency)
 	step := time.Duration(0.05 * target * 1e9)
+	span := 20 * s.cfg.MonitorInterval
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-ticker.C:
 		}
+		now := time.Now()
 		s.mu.Lock()
+		// Drop samples older than the span; the window is append-ordered.
+		cut := 0
+		for cut < len(s.window) && now.Sub(s.window[cut].at) > span {
+			cut++
+		}
+		if cut > 0 {
+			s.window = s.window[:copy(s.window, s.window[cut:])]
+		}
 		if len(s.window) >= 20 {
-			tail := percentile(s.window, s.cfg.QoS.Percentile)
+			vals := make([]float64, len(s.window))
+			for i, w := range s.window {
+				vals[i] = w.v
+			}
+			tail := percentile(vals, s.cfg.QoS.Percentile)
 			switch {
 			case tail > 0.95*target:
 				s.qosPrime -= step

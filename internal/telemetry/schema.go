@@ -40,4 +40,29 @@ const (
 	MetricDriftTotal = "retail_model_drift_events_total"
 	// MetricDecisionsTotal counts Algorithm 1 frequency decisions.
 	MetricDecisionsTotal = "retail_freq_decisions_total"
+
+	// --- Fault injection & graceful degradation (internal/fault, live) ---
+	// Labels: app on every series; site (dvfs_write, exec, predict,
+	// drift) on retail_faults_injected_total only.
+
+	// MetricFaultsInjected counts faults injected by the active chaos
+	// plan, per site.
+	MetricFaultsInjected = "retail_faults_injected_total"
+	// MetricDVFSRetries counts DVFS write retries (attempts after the
+	// first failure, before giving up).
+	MetricDVFSRetries = "retail_dvfs_retries_total"
+	// MetricDVFSFallbacks counts retry budgets exhausted — the runtime
+	// pinned the worker at max frequency (the paper's safety posture:
+	// never sacrifice QoS for power).
+	MetricDVFSFallbacks = "retail_dvfs_fallbacks_total"
+	// MetricDVFSWriteErrors counts failed DVFS write attempts (including
+	// each failed retry).
+	MetricDVFSWriteErrors = "retail_dvfs_write_errors_total"
+	// MetricDeadlineTimeouts counts queued requests dropped at dequeue
+	// because their waiting time alone already exceeded the deadline
+	// budget — executing them could only waste energy.
+	MetricDeadlineTimeouts = "retail_deadline_timeouts_total"
+	// MetricWorkersPinned gauges workers currently pinned at max
+	// frequency by the DVFS fallback (0 when all healthy).
+	MetricWorkersPinned = "retail_workers_pinned"
 )

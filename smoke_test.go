@@ -32,6 +32,11 @@ var smokeTargets = []struct {
 	{"./cmd/retail-live", []string{
 		"-rps", "200", "-duration", "500ms", "-metrics-addr", "127.0.0.1:0",
 	}},
+	// Replays a compressed fault plan against the live runtime: injector,
+	// degradation machinery and the report path all run end-to-end.
+	{"./cmd/retail-chaos", []string{
+		"-plan", "overload-burst", "-seconds", "4", "-scale", "0.25", "-samples", "200",
+	}},
 }
 
 func TestSmoke(t *testing.T) {
