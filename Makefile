@@ -12,6 +12,10 @@
 #   make chaos-check     fault-injection suite: injector contracts, degradation
 #                        paths, live replays, sim matrix vs committed golden
 #   make chaos-golden    rewrite the chaos golden after an intentional change
+#   make parity-check    replay parity under -race: one recorded simulator
+#                        trace through the live runtime's decider must yield
+#                        byte-identical decisions (DESIGN.md §10)
+#   make parity-golden   rewrite the parity decision-stream golden
 #   make smoke   build-and-run every example and command briefly
 #   make check   build + vet + test (the pre-commit bundle)
 
@@ -25,7 +29,7 @@ GO ?= go
 HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep)'
 HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments
 
-.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden smoke check clean
+.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden parity-check parity-golden smoke check clean
 
 build:
 	$(GO) build ./...
@@ -70,6 +74,17 @@ chaos-check:
 
 chaos-golden:
 	$(GO) test -run TestChaosSimGolden -count=1 ./internal/experiments -update
+
+# Replay parity (DESIGN.md §10): the simulator adapter records every
+# input the shared decision core consumed; replaying the trace through
+# the live adapter's decider must reproduce the decision stream
+# byte-for-byte, including the negative control proving the check can
+# fail. Runs under -race because the live decider is the concurrent one.
+parity-check:
+	$(GO) test -race -count=1 -run 'TestReplayParity' ./internal/experiments
+
+parity-golden:
+	$(GO) test -run TestReplayParity -count=1 ./internal/experiments -update
 
 smoke:
 	$(GO) test -run TestSmoke -v .

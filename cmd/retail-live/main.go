@@ -5,7 +5,15 @@
 // frequency); with -sysfs it writes the Linux cpufreq userspace governor
 // files, exactly as the paper's testbed does.
 //
+// The frequency policy is selectable: -policy runs ReTail (default) or
+// one of the paper's baselines — rubik (offline distribution tail),
+// gemini (head-sized NN posture with a two-step boost) or eetl
+// (slow-start with a long-request threshold) — over the same wall-clock
+// runtime, because all four are adapters of the shared decision core in
+// internal/policy.
+//
 //	retail-live -app xapian -rps 150 -duration 5s
+//	retail-live -app xapian -policy rubik          # baseline on the live runtime
 //	retail-live -app xapian -metrics-addr :9090   # Prometheus /metrics + /healthz
 //	sudo retail-live -app xapian -sysfs -cores 2,3  # real DVFS (Linux)
 package main
@@ -40,11 +48,12 @@ func main() {
 		coresArg    = flag.String("cores", "", "comma-separated physical cores for -sysfs")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. :9090)")
 		faultPlan   = flag.String("fault-plan", "", "replay a named fault plan against the runtime (see retail-chaos -list)")
+		policyName  = flag.String("policy", "retail", "frequency policy: retail, rubik, gemini or eetl")
 	)
 	flag.Parse()
 
 	app := workload.ByName(*appName)
-	cores, err := validateFlags(app, *appName, *rps, *duration, *workers, *scale, *sysfs, *coresArg)
+	cores, err := validateFlags(app, *appName, *rps, *duration, *workers, *scale, *sysfs, *coresArg, *policyName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "retail-live: %v\n", err)
 		flag.Usage()
@@ -93,16 +102,18 @@ func main() {
 		reg = telemetry.NewRegistry()
 	}
 	srv, err := live.NewServer(live.ServerConfig{
-		Addr:      "127.0.0.1:0",
-		Workers:   *workers,
-		QoS:       app.QoS(),
-		Predictor: scaled{cal.Model, *scale},
-		Backend:   backend,
-		Exec:      live.DemoExecutor(app, mock, *scale),
-		Metrics:   reg,
-		AppName:   app.Name(),
-		Faults:    inj,
-		Degrade:   degrade,
+		Addr:         "127.0.0.1:0",
+		Workers:      *workers,
+		QoS:          app.QoS(),
+		Predictor:    scaled{cal.Model, *scale},
+		Backend:      backend,
+		Exec:         live.DemoExecutor(app, mock, *scale),
+		Metrics:      reg,
+		AppName:      app.Name(),
+		Faults:       inj,
+		Degrade:      degrade,
+		Policy:       *policyName,
+		ProfileAtMax: scaleProfile(cal.ProfileAtMax, *scale),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -123,7 +134,7 @@ func main() {
 		defer ms.Close()
 		log.Printf("metrics on http://%s/metrics (health: /healthz, trace: /debug/trace, profiles: /debug/pprof/)", ms.Addr())
 	}
-	log.Printf("serving on %s; loading at %.0f RPS for %v", srv.Addr(), *rps, *duration)
+	log.Printf("serving on %s (policy %s); loading at %.0f RPS for %v", srv.Addr(), srv.Policy(), *rps, *duration)
 
 	ccfg := live.ClientConfig{
 		Addr: srv.Addr(), App: app, RPS: *rps, Duration: *duration,
@@ -136,12 +147,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf(`sent        %d
+	fmt.Printf(`policy      %s
+sent        %d
 completed   %d
 latency     p50 %v   p95 %v   p99 %v   mean %v
 decisions   %d frequency decisions, %d DVFS writes
 qos'        %v (target %v × scale %.2f)
-`, res.Sent, res.Completed, res.P50, res.P95, res.P99, res.Mean,
+`, srv.Policy(), res.Sent, res.Completed, res.P50, res.P95, res.P99, res.Mean,
 		srv.Decisions(), mock.Writes(), srv.QoSPrime(),
 		time.Duration(float64(app.QoS().Latency)*1e9), *scale)
 	if inj != nil {
@@ -158,9 +170,14 @@ recovery    dvfs errors %d  retries %d  fallbacks %d  shed %d  deadline drops %d
 // produces a usable error instead of a mid-run failure (previously
 // -sysfs without -cores fell through to an Atoi failure on an empty
 // string). It returns the parsed core list for -sysfs.
-func validateFlags(app workload.App, appName string, rps float64, duration time.Duration, workers int, scale float64, sysfs bool, coresArg string) ([]int, error) {
+func validateFlags(app workload.App, appName string, rps float64, duration time.Duration, workers int, scale float64, sysfs bool, coresArg, policy string) ([]int, error) {
 	if app == nil {
 		return nil, fmt.Errorf("unknown -app %q (try xapian, moses, …)", appName)
+	}
+	switch policy {
+	case "", "retail", "rubik", "gemini", "eetl":
+	default:
+		return nil, fmt.Errorf("unknown -policy %q (want retail, rubik, gemini or eetl)", policy)
 	}
 	if rps <= 0 {
 		return nil, fmt.Errorf("-rps must be positive, got %g", rps)
@@ -199,6 +216,19 @@ func validateFlags(app workload.App, appName string, rps float64, duration time.
 		return nil, fmt.Errorf("-cores lists %d cores but -workers is %d: each worker needs its own core", len(cores), workers)
 	}
 	return cores, nil
+}
+
+// scaleProfile compresses the calibrated max-frequency service-time
+// profile to the demo executor's timebase, mirroring what the scaled
+// predictor does: the profile-driven baselines (Rubik's distribution
+// tail, EETL's long-request threshold) must see service times in the
+// same units the executor actually produces.
+func scaleProfile(profile []float64, s float64) []float64 {
+	out := make([]float64, len(profile))
+	for i, v := range profile {
+		out[i] = v * s
+	}
+	return out
 }
 
 type scaled struct {

@@ -15,7 +15,7 @@ import (
 func TestValidateFlags(t *testing.T) {
 	app := workload.ByName("xapian")
 	ok := func(rps float64, dur time.Duration, workers int, scale float64, sysfs bool, cores string) ([]int, error) {
-		return validateFlags(app, "xapian", rps, dur, workers, scale, sysfs, cores)
+		return validateFlags(app, "xapian", rps, dur, workers, scale, sysfs, cores, "retail")
 	}
 
 	cases := []struct {
@@ -26,8 +26,17 @@ func TestValidateFlags(t *testing.T) {
 	}{
 		{"defaults", func() ([]int, error) { return ok(150, time.Second, 2, 0.2, false, "") }, "", nil},
 		{"unknown app", func() ([]int, error) {
-			return validateFlags(nil, "nope", 150, time.Second, 2, 0.2, false, "")
+			return validateFlags(nil, "nope", 150, time.Second, 2, 0.2, false, "", "retail")
 		}, `unknown -app "nope"`, nil},
+		{"unknown policy", func() ([]int, error) {
+			return validateFlags(app, "xapian", 150, time.Second, 2, 0.2, false, "", "nope")
+		}, `unknown -policy "nope"`, nil},
+		{"baseline policy ok", func() ([]int, error) {
+			return validateFlags(app, "xapian", 150, time.Second, 2, 0.2, false, "", "rubik")
+		}, "", nil},
+		{"empty policy defaults", func() ([]int, error) {
+			return validateFlags(app, "xapian", 150, time.Second, 2, 0.2, false, "", "")
+		}, "", nil},
 		{"zero rps", func() ([]int, error) { return ok(0, time.Second, 2, 0.2, false, "") }, "-rps", nil},
 		{"negative duration", func() ([]int, error) { return ok(150, -time.Second, 2, 0.2, false, "") }, "-duration", nil},
 		{"zero workers", func() ([]int, error) { return ok(150, time.Second, 0, 0.2, false, "") }, "-workers", nil},

@@ -21,9 +21,9 @@ func TestGridNearest(t *testing.T) {
 		{1.8, 2},  // closest to 2.0
 		{2.3, 2},  // tie 2.0↔2.6 → lower level
 		{2.35, 3},
-		{0.2, 0},   // below the grid clamps to min
-		{9.9, 3},   // above the grid clamps to max
-		{-1.0, 0},  // nonsense reading still lands on the grid
+		{0.2, 0},  // below the grid clamps to min
+		{9.9, 3},  // above the grid clamps to max
+		{-1.0, 0}, // nonsense reading still lands on the grid
 	} {
 		if got := g.Nearest(tc.f); got != tc.want {
 			t.Errorf("Nearest(%.2f) = %d, want %d", tc.f, got, tc.want)

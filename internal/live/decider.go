@@ -1,0 +1,230 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"retail/internal/cpu"
+	"retail/internal/policy"
+)
+
+// decider is a pluggable frequency policy bound to the wall-clock
+// runtime. All four managers the simulator evaluates — ReTail and the
+// Rubik/Gemini/EETL baselines — implement it over the shared clock-
+// agnostic core in internal/policy, so `retail-live -policy <name>`
+// exercises the same decision code the simulator runs in virtual time.
+//
+// Calls are serialized by the server's mutex; times are float64 seconds
+// in the server's epoch timebase (see Server.nowS).
+type decider interface {
+	// Name identifies the policy (mirrors manager.Manager.Name).
+	Name() string
+	// Decide picks the frequency level for one worker's pipeline (head +
+	// FCFS queue) and returns the head's predicted service time at the
+	// chosen level (seconds) for attribution and boost scheduling.
+	Decide(now float64, p policy.Pipeline) (cpu.Level, float64)
+	// Observe feeds one completed request's sojourn to the policy.
+	Observe(at, sojourn float64)
+	// Tick runs the policy's periodic work (the QoS′ latency monitor for
+	// ReTail; a no-op for the monitor-less baselines).
+	Tick(now float64)
+	// QoSPrime returns the current internal latency target in seconds
+	// (pinned to QoS for the baselines, steered for ReTail).
+	QoSPrime() float64
+}
+
+// booster is the optional two-step DVFS surface: after Decide, the
+// worker arms a timer that re-raises the frequency if the request is
+// still running when it fires (Gemini's boost checkpoint, EETL's
+// long-request threshold). The timer is stopped when execution ends.
+type booster interface {
+	Boost(chosen cpu.Level, predicted float64) (delay time.Duration, lvl cpu.Level, ok bool)
+}
+
+// newDecider builds the decider named by cfg.Policy ("" = "retail").
+func newDecider(cfg ServerConfig, grid *cpu.Grid) (decider, error) {
+	qos := float64(cfg.QoS.Latency)
+	switch cfg.Policy {
+	case "", "retail":
+		// The window, cap and smoothing reproduce the live runtime's
+		// historical monitor settings (the simulator adapter pins its
+		// own): the span covers 20 monitor intervals pruned down to the
+		// minimum the tail estimate needs, QoS′ may relax up to 1.1×QoS,
+		// and the controller steers on the raw windowed percentile
+		// (Alpha 1). A longer window turns the windowed p99 at live
+		// request rates into "max of the last second", which over-reacts
+		// to single stragglers and sheds traffic the runtime could serve;
+		// EWMA smoothing delays the response to a load burst past the
+		// burst itself, so admission control would only engage after the
+		// queues have already drained.
+		// Interval floors the monitor's rate-limit gap. The simulator's
+		// virtual ticks land exactly one period apart, so a floor of one
+		// period means "adjust at most once per tick"; wall-clock ticker
+		// jitter makes consecutive ticks arrive marginally under a period
+		// apart, which with the same floor silently halves the controller
+		// gain. Half a period keeps the once-per-tick intent under jitter.
+		interval := cfg.MonitorInterval.Seconds()
+		return &retailDecider{
+			mon: policy.NewMonitor(policy.MonitorConfig{
+				Target:     qos,
+				Percentile: cfg.QoS.Percentile,
+				Interval:   interval / 2,
+				Span:       20 * interval,
+				MinKeep:    20,
+				Cap:        1.1,
+				Alpha:      1,
+			}),
+			grid: grid,
+		}, nil
+	case "rubik":
+		if len(cfg.ProfileAtMax) == 0 {
+			return nil, fmt.Errorf("live: policy %q needs ProfileAtMax (offline service-time profile)", cfg.Policy)
+		}
+		d := &rubikDecider{
+			tail: policy.NewRubikTail(cfg.ProfileAtMax, 0.999),
+			grid: grid,
+			qos:  qos,
+		}
+		d.pipe.d = d
+		return d, nil
+	case "gemini":
+		return &geminiDecider{grid: grid, qos: qos, boostFrac: 0.8}, nil
+	case "eetl":
+		if len(cfg.ProfileAtMax) == 0 {
+			return nil, fmt.Errorf("live: policy %q needs ProfileAtMax (offline service-time profile)", cfg.Policy)
+		}
+		slow := grid.MaxLevel() / 2
+		thr := policy.EETLThreshold(cfg.ProfileAtMax, 0.75, grid.MaxFreq(), grid.Freq(slow))
+		return &eetlDecider{
+			grid:      grid,
+			qos:       qos,
+			slow:      slow,
+			threshold: time.Duration(thr * 1e9),
+		}, nil
+	default:
+		return nil, fmt.Errorf("live: unknown policy %q (want retail, rubik, gemini or eetl)", cfg.Policy)
+	}
+}
+
+// retailDecider is ReTail: Algorithm 1 over the whole pipeline against
+// the monitor-steered QoS′. It is the exact decider the replay-parity
+// harness drives (ReplayDecisions), which is what proves the live
+// decision path equals the simulator's.
+type retailDecider struct {
+	mon  *policy.Monitor
+	grid *cpu.Grid
+}
+
+func (d *retailDecider) Name() string { return "retail" }
+
+func (d *retailDecider) Decide(now float64, p policy.Pipeline) (cpu.Level, float64) {
+	lvl, _ := policy.Alg1(p, now, d.mon.QoSPrime(), d.grid.MaxLevel(), false)
+	return lvl, p.Predict(lvl, 0)
+}
+
+func (d *retailDecider) Observe(at, sojourn float64) { d.mon.Observe(at, sojourn) }
+func (d *retailDecider) Tick(now float64)            { d.mon.Tick(now) }
+func (d *retailDecider) QoSPrime() float64           { return d.mon.QoSPrime() }
+
+// rubikDecider is the statistical baseline: Algorithm 1 where every
+// member's prediction is the profiled distribution tail scaled to the
+// candidate frequency, against the fixed QoS (Rubik has no monitor).
+type rubikDecider struct {
+	tail *policy.RubikTail
+	grid *cpu.Grid
+	qos  float64
+	pipe rubikTailPipe
+}
+
+// rubikTailPipe substitutes the tail estimate for the feature-based
+// prediction, caching one estimate per level tried (the estimate does
+// not depend on the request).
+type rubikTailPipe struct {
+	d          *rubikDecider
+	inner      policy.Pipeline
+	cachedLvl  int
+	cachedTail float64
+}
+
+func (p *rubikTailPipe) Len() int              { return p.inner.Len() }
+func (p *rubikTailPipe) Gen(i int) policy.Time { return p.inner.Gen(i) }
+func (p *rubikTailPipe) HeadProgress() float64 { return p.inner.HeadProgress() }
+func (p *rubikTailPipe) Predict(lvl cpu.Level, _ int) float64 {
+	if int(lvl) != p.cachedLvl {
+		p.cachedLvl = int(lvl)
+		p.cachedTail = p.d.tail.Tail(p.d.grid.MaxFreq(), p.d.grid.Freq(lvl))
+	}
+	return p.cachedTail
+}
+
+func (d *rubikDecider) Name() string { return "rubik" }
+
+func (d *rubikDecider) Decide(now float64, p policy.Pipeline) (cpu.Level, float64) {
+	d.pipe.inner = p
+	d.pipe.cachedLvl = -1
+	lvl, _ := policy.Alg1(&d.pipe, now, d.qos, d.grid.MaxLevel(), false)
+	pred := d.pipe.Predict(lvl, 0)
+	d.pipe.inner = nil
+	return lvl, pred
+}
+
+func (d *rubikDecider) Observe(at, sojourn float64) {}
+func (d *rubikDecider) Tick(now float64)            {}
+func (d *rubikDecider) QoSPrime() float64           { return d.qos }
+
+// geminiDecider is the NN baseline's runtime posture: size the frequency
+// to the head request alone (policy.GeminiLevel), no latency monitor
+// (QoS′ pinned to QoS), and a two-step boost checkpoint at BoostFrac of
+// the predicted service time.
+type geminiDecider struct {
+	grid      *cpu.Grid
+	qos       float64
+	boostFrac float64
+}
+
+func (d *geminiDecider) Name() string { return "gemini" }
+
+func (d *geminiDecider) Decide(now float64, p policy.Pipeline) (cpu.Level, float64) {
+	budget := d.qos - (now - p.Gen(0))
+	return policy.GeminiLevel(budget, d.grid.MaxLevel(), func(lvl cpu.Level) float64 {
+		return p.Predict(lvl, 0)
+	})
+}
+
+func (d *geminiDecider) Observe(at, sojourn float64) {}
+func (d *geminiDecider) Tick(now float64)            {}
+func (d *geminiDecider) QoSPrime() float64           { return d.qos }
+
+func (d *geminiDecider) Boost(chosen cpu.Level, predicted float64) (time.Duration, cpu.Level, bool) {
+	if chosen >= d.grid.MaxLevel() || predicted <= 0 {
+		return 0, 0, false
+	}
+	return time.Duration(d.boostFrac * predicted * 1e9), d.grid.MaxLevel(), true
+}
+
+// eetlDecider is the progress-threshold baseline: every request starts
+// at the slow level; one still running at the threshold crossing is
+// flagged long and boosted to max.
+type eetlDecider struct {
+	grid      *cpu.Grid
+	qos       float64
+	slow      cpu.Level
+	threshold time.Duration
+}
+
+func (d *eetlDecider) Name() string { return "eetl" }
+
+func (d *eetlDecider) Decide(now float64, p policy.Pipeline) (cpu.Level, float64) {
+	return d.slow, p.Predict(d.slow, 0)
+}
+
+func (d *eetlDecider) Observe(at, sojourn float64) {}
+func (d *eetlDecider) Tick(now float64)            {}
+func (d *eetlDecider) QoSPrime() float64           { return d.qos }
+
+func (d *eetlDecider) Boost(cpu.Level, float64) (time.Duration, cpu.Level, bool) {
+	if d.threshold <= 0 {
+		return 0, 0, false
+	}
+	return d.threshold, d.grid.MaxLevel(), true
+}

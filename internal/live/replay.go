@@ -1,0 +1,79 @@
+package live
+
+import (
+	"retail/internal/cpu"
+	"retail/internal/policy"
+	"retail/internal/predict"
+)
+
+// ReplayDecisions drives the live runtime's ReTail decider — the exact
+// struct `retail-live` runs behind its mutex — through a recorded trace
+// and returns the decision sequence it produces. The parity harness in
+// internal/experiments records the trace from a simulator run and
+// compares this sequence byte-for-byte against the simulator's own
+// decisions: if the two adapters fed the shared core the same inputs in
+// the same order, the outputs must be bit-identical, proving the live
+// decision path is the simulated one.
+//
+// The monitor configuration must match the recording manager's (same
+// target, percentile, interval and window policy); pred must be the
+// frozen predictor the recording run used.
+func ReplayDecisions(tr *policy.Trace, pred predict.Predictor, grid *cpu.Grid, mon policy.MonitorConfig) []policy.ReplayDecision {
+	d := &retailDecider{mon: policy.NewMonitor(mon), grid: grid}
+	pipe := replayPipeline{tr: tr, pred: pred}
+	out := make([]policy.ReplayDecision, 0, len(tr.Events))
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case policy.DecisionEvent:
+			pipe.ev = ev
+			qp := d.QoSPrime()
+			lvl, _ := d.Decide(float64(ev.At), &pipe)
+			out = append(out, policy.ReplayDecision{Level: lvl, QoSPrime: policy.Duration(qp)})
+		case policy.CompletionEvent:
+			d.Observe(float64(ev.At), ev.Sojourn)
+		case policy.TickEvent:
+			d.Tick(float64(ev.At))
+		}
+	}
+	return out
+}
+
+// replayPipeline adapts one recorded decision event to policy.Pipeline.
+// Member i resolves to the recorded head (i = 0), the FCFS queue
+// (1..len(Queue)) or the just-arriving extra member (last, when
+// HasExtra); features and generation stamps come from the trace's
+// side tables so every float64 the core sees matches the recording run
+// bit-for-bit.
+type replayPipeline struct {
+	tr   *policy.Trace
+	pred predict.Predictor
+	ev   *policy.TraceEvent
+}
+
+func (p *replayPipeline) id(i int) uint64 {
+	switch {
+	case i == 0:
+		return p.ev.Head
+	case i <= len(p.ev.Queue):
+		return p.ev.Queue[i-1]
+	default:
+		return p.ev.Extra
+	}
+}
+
+func (p *replayPipeline) Len() int {
+	n := 1 + len(p.ev.Queue)
+	if p.ev.HasExtra {
+		n++
+	}
+	return n
+}
+
+func (p *replayPipeline) Gen(i int) policy.Time { return p.tr.Gens[p.id(i)] }
+
+func (p *replayPipeline) Predict(lvl cpu.Level, i int) float64 {
+	return p.pred.Predict(lvl, p.tr.Features[p.id(i)])
+}
+
+func (p *replayPipeline) HeadProgress() float64 { return p.ev.Progress }

@@ -4,13 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
 	"retail/internal/cpu"
 	"retail/internal/fault"
+	"retail/internal/policy"
 	"retail/internal/predict"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
@@ -52,6 +53,13 @@ type ServerConfig struct {
 	Predictor predict.Predictor
 	Backend   Backend
 	Exec      Executor
+	// Policy selects the frequency manager: "retail" (default), "rubik",
+	// "gemini" or "eetl" — the same policy set the simulator evaluates,
+	// all running on the shared clock-agnostic core in internal/policy.
+	Policy string
+	// ProfileAtMax is the offline service-time profile at max frequency
+	// (seconds), required by the profile-driven baselines (rubik, eetl).
+	ProfileAtMax []float64
 	// MonitorInterval for the QoS′ loop (0 = 100ms).
 	MonitorInterval time.Duration
 	// Metrics, when non-nil, receives the runtime's telemetry
@@ -81,28 +89,45 @@ type queuedReq struct {
 	done chan Response
 }
 
-// timedSojourn timestamps a completion so the monitor's window can be
-// pruned by age — without pruning, one bad burst pins the measured tail
-// high forever and QoS′ can only ratchet down, never recover.
-type timedSojourn struct {
-	at time.Time
-	v  float64 // sojourn seconds
-}
-
-// Server is the wall-clock ReTail runtime: one goroutine per worker core
-// draining a FCFS queue, a frequency decision per schedule via Algorithm
-// 1, and a latency monitor adjusting QoS′.
+// Server is the wall-clock adapter of the shared decision core: one
+// goroutine per worker core draining a FCFS queue, a frequency decision
+// per schedule through the configured decider (Algorithm 1 for ReTail),
+// and a monitor goroutine ticking the policy's periodic work. The
+// decision arithmetic itself lives in internal/policy — the same code
+// the simulator adapter (internal/manager) runs in virtual time; the
+// replay-parity harness in internal/experiments asserts the two adapters
+// decide byte-identically on one recorded trace.
 type Server struct {
 	cfg  ServerConfig
 	ln   net.Listener
 	grid *cpu.Grid
 
-	mu       sync.Mutex
-	queues   [][]*queuedReq
-	qosPrime time.Duration
-	window   []timedSojourn // recent completions, pruned by age
-	closed   bool
-	conns    map[net.Conn]struct{}
+	// epochNs anchors the runtime's float64-seconds timebase: every time
+	// the decision core sees is (wallNs − epochNs)/1e9, mirroring the
+	// simulator's seconds-since-zero virtual clock.
+	epochNs int64
+
+	mu     sync.Mutex
+	queues [][]*queuedReq
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	// dec is the pluggable frequency policy; pipe is the persistent
+	// pipeline view handed to it so the decide path allocates nothing
+	// (TestLiveDecideZeroAlloc). boost is dec's optional two-step DVFS
+	// surface (nil when the policy has none). All guarded by mu.
+	dec   decider
+	pipe  livePipeline
+	boost booster
+
+	// jsq is the shared dispatch rule; jsqLoad is a persistent closure so
+	// enqueue allocates nothing for the pick.
+	jsq     policy.JSQ
+	jsqLoad func(int) int
+
+	// degrade holds the shared shed/deadline predicates derived from the
+	// DegradePolicy knobs.
+	degrade policy.Degrade
 
 	wake []chan struct{}
 	wg   sync.WaitGroup
@@ -124,6 +149,49 @@ type Server struct {
 	spanCap  int
 }
 
+// livePipeline adapts one worker's head + FCFS queue snapshot to
+// policy.Pipeline. The queue slice references the server's own queue
+// (decide runs under s.mu), so refilling it per decision allocates
+// nothing.
+type livePipeline struct {
+	s     *Server
+	head  *queuedReq
+	queue []*queuedReq
+}
+
+func (p *livePipeline) req(i int) *queuedReq {
+	if i == 0 {
+		return p.head
+	}
+	return p.queue[i-1]
+}
+
+func (p *livePipeline) Len() int { return 1 + len(p.queue) }
+
+func (p *livePipeline) Gen(i int) policy.Time { return p.s.toS(p.req(i).req.GenNs) }
+
+func (p *livePipeline) Predict(lvl cpu.Level, i int) float64 {
+	return p.s.cfg.Predictor.Predict(lvl, p.req(i).req.Features)
+}
+
+// HeadProgress is always zero live: run-to-completion workers decide at
+// schedule time, and the wall-clock runtime has no mid-request progress
+// counter (the real system would read hardware cycle counters here).
+func (p *livePipeline) HeadProgress() float64 { return 0 }
+
+// toS converts a wall-clock UnixNano stamp to the runtime's
+// float64-seconds timebase.
+func (s *Server) toS(ns int64) float64 { return float64(ns-s.epochNs) / 1e9 }
+
+// nowS returns the current time in the runtime's timebase.
+func (s *Server) nowS() float64 { return s.toS(time.Now().UnixNano()) }
+
+// durS converts the policy core's float64 seconds back to a Duration,
+// rounding rather than truncating: the QoS′ floor 0.02·target computes
+// to …999999ns in binary floating point, and truncation would report it
+// 1 ns below the clamp band the monitor actually enforces.
+func durS(x float64) time.Duration { return time.Duration(math.Round(x * 1e9)) }
+
 // NewServer validates the configuration and binds the listener.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Workers <= 0 || cfg.Predictor == nil || cfg.Backend == nil || cfg.Exec == nil {
@@ -132,20 +200,33 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MonitorInterval <= 0 {
 		cfg.MonitorInterval = 100 * time.Millisecond
 	}
+	grid := cfg.Backend.Grid()
+	dec, err := newDecider(cfg, grid)
+	if err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("live: listen: %w", err)
 	}
 	s := &Server{
-		cfg:      cfg,
-		ln:       ln,
-		grid:     cfg.Backend.Grid(),
-		queues:   make([][]*queuedReq, cfg.Workers),
-		qosPrime: time.Duration(float64(cfg.QoS.Latency) * 1e9),
-		stop:     make(chan struct{}),
-		conns:    map[net.Conn]struct{}{},
-		policy:   cfg.Degrade.normalize(),
-		applied:  make([]appliedState, cfg.Workers),
+		cfg:     cfg,
+		ln:      ln,
+		grid:    grid,
+		epochNs: time.Now().UnixNano(),
+		queues:  make([][]*queuedReq, cfg.Workers),
+		dec:     dec,
+		stop:    make(chan struct{}),
+		conns:   map[net.Conn]struct{}{},
+		policy:  cfg.Degrade.normalize(),
+		applied: make([]appliedState, cfg.Workers),
+	}
+	s.pipe.s = s
+	s.boost, _ = dec.(booster)
+	s.jsqLoad = func(i int) int { return len(s.queues[i]) }
+	s.degrade = policy.Degrade{
+		ShedFactor:     s.policy.ShedFactor,
+		DeadlineFactor: s.policy.DeadlineFactor,
 	}
 	switch {
 	case cfg.TraceCapacity == 0:
@@ -162,10 +243,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			app = "live"
 		}
 		s.metrics = newLiveMetrics(cfg.Metrics, app, s.grid, float64(cfg.QoS.Latency))
-		s.metrics.setQoSPrime(s.qosPrime)
+		s.metrics.setQoSPrime(durS(s.dec.QoSPrime()))
 	}
 	return s, nil
 }
+
+// Policy returns the active frequency policy's name.
+func (s *Server) Policy() string { return s.dec.Name() }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -221,7 +305,7 @@ func (s *Server) Decisions() uint64 {
 func (s *Server) QoSPrime() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.qosPrime
+	return durS(s.dec.QoSPrime())
 }
 
 func (s *Server) acceptLoop() {
@@ -271,10 +355,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// enqueue joins the shortest queue (the simulator's JSQ policy). With
-// admission control enabled it sheds the arrival instead when even the
-// shortest queue's drain estimate — (depth+1) requests at the request's
-// predicted max-frequency service time — exceeds ShedFactor × QoS′:
+// enqueue joins the shortest queue via the shared policy.JSQ rule (same
+// rotating tie-break as the simulator's server — the PR-2 tie-bias fix,
+// now on both sides). With admission control enabled it sheds the
+// arrival instead when even the shortest queue's drain estimate —
+// (depth+1) requests at the request's predicted max-frequency service
+// time — exceeds ShedFactor × QoS′ (policy.Degrade.ShouldShed):
 // accepting a request that provably cannot meet the deadline only wastes
 // energy and delays requests that still can.
 func (s *Server) enqueue(req Request, done chan Response) {
@@ -284,14 +370,8 @@ func (s *Server) enqueue(req Request, done chan Response) {
 		svcAtMax = s.cfg.Predictor.Predict(s.grid.MaxLevel(), req.Features)
 	}
 	s.mu.Lock()
-	best, bestLen := 0, len(s.queues[0])
-	for i := 1; i < len(s.queues); i++ {
-		if len(s.queues[i]) < bestLen {
-			best, bestLen = i, len(s.queues[i])
-		}
-	}
-	if s.policy.ShedFactor > 0 &&
-		float64(bestLen+1)*svcAtMax > s.policy.ShedFactor*s.qosPrime.Seconds() {
+	best := s.jsq.Pick(len(s.queues), s.jsqLoad)
+	if s.degrade.ShouldShed(len(s.queues[best]), svcAtMax, s.dec.QoSPrime()) {
 		s.mu.Unlock()
 		s.deg.shed.Add(1)
 		s.metrics.incShed()
@@ -340,9 +420,9 @@ func (s *Server) worker(id int) {
 			}
 		}
 		// Deadline timeout: a request whose queueing delay alone already
-		// blew the budget is dropped before the (pointless) execution.
-		if s.policy.DeadlineFactor > 0 &&
-			time.Since(q.recv) > time.Duration(s.policy.DeadlineFactor*float64(s.cfg.QoS.Latency)*float64(time.Second)) {
+		// blew the budget is dropped before the (pointless) execution
+		// (policy.Degrade.DeadlineExceeded — the shared predicate).
+		if s.degrade.DeadlineExceeded(time.Since(q.recv).Seconds(), float64(s.cfg.QoS.Latency)) {
 			s.deg.deadline.Add(1)
 			s.metrics.incDeadlineDrop()
 			q.done <- Response{ID: q.req.ID, RecvNs: q.recv.UnixNano(), Dropped: true}
@@ -353,6 +433,16 @@ func (s *Server) worker(id int) {
 		// pins the worker at max frequency (see degrade.go). The executor
 		// runs at the level the hardware actually holds, not the wish.
 		applied := s.applyLevel(id, lvl)
+		// Two-step DVFS (Gemini's boost checkpoint, EETL's long-request
+		// threshold): arm a timer that re-raises the frequency if the
+		// request is still running when it fires.
+		var boostTimer *time.Timer
+		if s.boost != nil {
+			if delay, blvl, on := s.boost.Boost(lvl, predicted); on {
+				wid := id
+				boostTimer = time.AfterFunc(delay, func() { s.applyLevel(wid, blvl) })
+			}
+		}
 		start := time.Now()
 		if f, ok := s.cfg.Faults.Fire(fault.SiteExec); ok {
 			// Injected executor latency spike/stall, part of the measured
@@ -361,6 +451,9 @@ func (s *Server) worker(id int) {
 		}
 		s.cfg.Exec(q.req, applied)
 		end := time.Now()
+		if boostTimer != nil {
+			boostTimer.Stop()
+		}
 		sojourn := end.Sub(time.Unix(0, q.req.GenNs))
 		s.metrics.observeCompletion(sojourn, end.Sub(start), applied)
 		s.recordSpan(LiveSpan{
@@ -372,10 +465,7 @@ func (s *Server) worker(id int) {
 			Violated: sojourn.Seconds() > float64(s.cfg.QoS.Latency),
 		})
 		s.mu.Lock()
-		s.window = append(s.window, timedSojourn{at: end, v: sojourn.Seconds()})
-		if len(s.window) > 4096 {
-			s.window = s.window[len(s.window)-4096:]
-		}
+		s.dec.Observe(s.toS(end.UnixNano()), sojourn.Seconds())
 		s.mu.Unlock()
 		q.done <- Response{
 			ID:      q.req.ID,
@@ -387,104 +477,49 @@ func (s *Server) worker(id int) {
 	}
 }
 
-// decide is Algorithm 1 over the worker's current queue snapshot. It
-// returns the chosen level plus the attribution the flight ring records:
-// the head's predicted service at that level, the queue occupancy and
-// QoS′ at decision time.
+// decide runs the configured policy over the worker's current pipeline.
+// It returns the chosen level plus the attribution the flight ring
+// records: the head's predicted service at that level, the queue
+// occupancy and QoS′ at decision time. The pipeline view references the
+// live queue under s.mu and the persistent pipe/decider state, so one
+// decision allocates nothing (TestLiveDecideZeroAlloc) — the live twin
+// of the simulator adapter's TestRetailDecideZeroAlloc.
 func (s *Server) decide(id int, head *queuedReq) (cpu.Level, float64, int, time.Duration) {
-	now := time.Now()
+	now := s.nowS()
 	s.mu.Lock()
-	queue := make([]*queuedReq, len(s.queues[id]))
-	copy(queue, s.queues[id])
-	qosPrime := s.qosPrime
-	budget := qosPrime.Seconds()
+	s.pipe.head = head
+	s.pipe.queue = s.queues[id]
+	qlen := len(s.queues[id])
+	lvl, predicted := s.dec.Decide(now, &s.pipe)
+	qp := durS(s.dec.QoSPrime())
+	s.pipe.head, s.pipe.queue = nil, nil
 	s.decisions++
 	s.mu.Unlock()
 	s.metrics.incDecisions()
-
-	maxLvl := s.grid.MaxLevel()
-	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
-		svc := s.cfg.Predictor.Predict(lvl, head.req.Features)
-		wait := now.Sub(time.Unix(0, head.req.GenNs)).Seconds()
-		if wait+svc > budget {
-			continue
-		}
-		sum := svc
-		ok := true
-		for _, r := range queue {
-			rs := s.cfg.Predictor.Predict(lvl, r.req.Features)
-			rwait := now.Sub(time.Unix(0, r.req.GenNs)).Seconds()
-			if rwait+sum+rs > budget {
-				ok = false
-				break
-			}
-			sum += rs
-		}
-		if ok {
-			return lvl, svc, len(queue), qosPrime
-		}
-	}
-	return maxLvl, s.cfg.Predictor.Predict(maxLvl, head.req.Features), len(queue), qosPrime
+	return lvl, predicted, qlen, qp
 }
 
-// monitor is the QoS′ loop: compare the recent tail with the target. The
-// window is pruned by age (20 monitor intervals — 2 s at the default
-// interval, matching the simulator's monitor span) so QoS′ recovers after
-// a bad episode drains instead of ratcheting down permanently.
+// monitor drives the policy's periodic work on a wall-clock ticker — the
+// live binding of the same tick the simulator schedules as a virtual
+// event chain. For ReTail the tick is policy.Monitor.Tick: the shared
+// QoS′ controller with the age-pruned sample window, so one bad burst
+// ages out and QoS′ recovers instead of ratcheting down permanently
+// (TestLiveMonitorRecoversAfterBurst).
 func (s *Server) monitor() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.MonitorInterval)
 	defer ticker.Stop()
-	target := float64(s.cfg.QoS.Latency)
-	step := time.Duration(0.05 * target * 1e9)
-	span := 20 * s.cfg.MonitorInterval
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-ticker.C:
 		}
-		now := time.Now()
+		now := s.nowS()
 		s.mu.Lock()
-		// Drop samples older than the span; the window is append-ordered.
-		cut := 0
-		for cut < len(s.window) && now.Sub(s.window[cut].at) > span {
-			cut++
-		}
-		if cut > 0 {
-			s.window = s.window[:copy(s.window, s.window[cut:])]
-		}
-		if len(s.window) >= 20 {
-			vals := make([]float64, len(s.window))
-			for i, w := range s.window {
-				vals[i] = w.v
-			}
-			tail := percentile(vals, s.cfg.QoS.Percentile)
-			switch {
-			case tail > 0.95*target:
-				s.qosPrime -= step
-			case tail < 0.9*target:
-				s.qosPrime += step / 2
-			}
-			lo := time.Duration(0.02 * target * 1e9)
-			hi := time.Duration(1.1 * target * 1e9)
-			if s.qosPrime < lo {
-				s.qosPrime = lo
-			}
-			if s.qosPrime > hi {
-				s.qosPrime = hi
-			}
-		}
-		qp := s.qosPrime
+		s.dec.Tick(now)
+		qp := durS(s.dec.QoSPrime())
 		s.mu.Unlock()
 		s.metrics.setQoSPrime(qp)
 	}
-}
-
-func percentile(xs []float64, p float64) float64 {
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
-	sort.Float64s(cp)
-	idx := int(p / 100 * float64(len(cp)-1))
-	return cp[idx]
 }

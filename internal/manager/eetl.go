@@ -1,12 +1,10 @@
 package manager
 
 import (
-	"sort"
-
 	"retail/internal/cpu"
+	"retail/internal/policy"
 	"retail/internal/server"
 	"retail/internal/sim"
-	"retail/internal/stats"
 	"retail/internal/workload"
 )
 
@@ -44,18 +42,8 @@ func NewEETL(qos workload.QoS, grid *cpu.Grid, profileAtMax []float64, quantile 
 		SlowLevel:  grid.MaxLevel() / 2,
 		BoostLevel: grid.MaxLevel(),
 	}
-	if quantile <= 0 || quantile >= 1 {
-		quantile = 0.75
-	}
-	if len(profileAtMax) > 0 {
-		p := make([]float64, len(profileAtMax))
-		copy(p, profileAtMax)
-		sort.Float64s(p)
-		// The threshold is the quantile service time scaled to the slow
-		// level, since that is the speed requests actually execute at.
-		base := stats.PercentileSorted(p, quantile*100)
-		m.Threshold = sim.Duration(base * grid.MaxFreq() / grid.Freq(m.SlowLevel))
-	}
+	m.Threshold = sim.Duration(policy.EETLThreshold(
+		profileAtMax, quantile, grid.MaxFreq(), grid.Freq(m.SlowLevel)))
 	return m
 }
 

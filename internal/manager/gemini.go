@@ -2,6 +2,7 @@ package manager
 
 import (
 	"retail/internal/cpu"
+	"retail/internal/policy"
 	"retail/internal/predict"
 	"retail/internal/server"
 	"retail/internal/sim"
@@ -126,8 +127,9 @@ func (m *Gemini) Arrival(e *sim.Engine, w *server.Worker, r *workload.Request) b
 			queueAhead += rem
 		}
 	}
-	predicted := float64(e.Now()-r.Gen) + queueAhead + m.predictAt(m.grid.MaxLevel(), r)
-	if predicted > float64(m.qos.Latency) {
+	elapsed := float64(e.Now() - r.Gen)
+	svcAtMax := m.predictAt(m.grid.MaxLevel(), r)
+	if !policy.GeminiAdmit(elapsed, queueAhead, svcAtMax, float64(m.qos.Latency)) {
 		m.dropped++
 		return false
 	}
@@ -143,14 +145,9 @@ func (m *Gemini) Arrival(e *sim.Engine, w *server.Worker, r *workload.Request) b
 func (m *Gemini) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
 	budget := float64(m.qos.Latency) - float64(e.Now()-r.Gen)
 	maxLvl := m.grid.MaxLevel()
-	chosen := maxLvl
-	for lvl := cpu.Level(0); lvl <= maxLvl; lvl++ {
-		if m.predictAt(lvl, r) <= budget {
-			chosen = lvl
-			break
-		}
-	}
-	predicted := m.predictAt(chosen, r)
+	chosen, predicted := policy.GeminiLevel(budget, maxLvl, func(lvl cpu.Level) float64 {
+		return m.predictAt(lvl, r)
+	})
 	if m.sink != nil {
 		m.sink.RecordDecision(server.Decision{
 			At:               e.Now(),

@@ -47,17 +47,3 @@ func AppendObservableFeatures(dst []float64, specs []workload.FeatureSpec, r *wo
 	}
 	return dst
 }
-
-// readiness tracks which requests have completed stage-1 feature
-// extraction; managers consult it before trusting application features.
-type readiness struct {
-	ready map[uint64]bool
-}
-
-func newReadiness() *readiness { return &readiness{ready: map[uint64]bool{}} }
-
-func (rd *readiness) markReady(r *workload.Request) { rd.ready[r.ID] = true }
-func (rd *readiness) isReady(r *workload.Request) bool {
-	return rd.ready[r.ID]
-}
-func (rd *readiness) forget(r *workload.Request) { delete(rd.ready, r.ID) }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"retail/internal/cpu"
+	"retail/internal/policy"
 	"retail/internal/predict"
 	"retail/internal/server"
 	"retail/internal/sim"
@@ -129,18 +130,22 @@ func TestObservableFeatures(t *testing.T) {
 	}
 }
 
+// TestReadiness pins the manager-side contract on the shared readiness
+// tracker: requests are keyed by ID, and forgetting a completed request
+// resets its state (the policy package's own tests cover the type; this
+// one keeps the adapter's usage honest).
 func TestReadiness(t *testing.T) {
-	rd := newReadiness()
+	rd := policy.NewReadiness()
 	r := &workload.Request{ID: 42}
-	if rd.isReady(r) {
+	if rd.IsReady(r.ID) {
 		t.Fatal("fresh request marked ready")
 	}
-	rd.markReady(r)
-	if !rd.isReady(r) {
-		t.Fatal("markReady had no effect")
+	rd.MarkReady(r.ID)
+	if !rd.IsReady(r.ID) {
+		t.Fatal("MarkReady had no effect")
 	}
-	rd.forget(r)
-	if rd.isReady(r) {
-		t.Fatal("forget had no effect")
+	rd.Forget(r.ID)
+	if rd.IsReady(r.ID) {
+		t.Fatal("Forget had no effect")
 	}
 }

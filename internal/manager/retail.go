@@ -4,10 +4,10 @@ import (
 	"math"
 
 	"retail/internal/cpu"
+	"retail/internal/policy"
 	"retail/internal/predict"
 	"retail/internal/server"
 	"retail/internal/sim"
-	"retail/internal/stats"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
 )
@@ -81,20 +81,29 @@ func DefaultReTailConfig() ReTailConfig {
 	}
 }
 
-// ReTail is the paper's power manager: per-request frequency prediction
-// via Algorithm 1 on top of the linear latency predictor, an adaptive
-// internal latency target QoS′, and drift-triggered online retraining.
+// ReTail is the simulator adapter for the paper's power manager: the
+// clock-agnostic decision core (policy.Alg1 + policy.Monitor) bound to
+// virtual time, plus the pieces that are inherently simulator-side —
+// the prediction memo, inference accounting, drift-triggered online
+// retraining and the deferred frequency writes that model decision
+// delay. The wall-clock runtime (internal/live) binds the same core to
+// monotonic time; the replay-parity harness in internal/experiments
+// asserts the two adapters decide identically on one recorded trace.
 type ReTail struct {
 	server.NoopHooks
 	cfg  ReTailConfig
 	srv  *server.Server
 	qos  workload.QoS
-	rd   *readiness
+	rd   *policy.Readiness
 	grid *cpu.Grid
 
-	model    predict.Predictor
-	drift    *predict.DriftDetector
-	qosPrime sim.Duration
+	model predict.Predictor
+	drift *predict.DriftDetector
+	// mon is the shared QoS′ latency monitor; pipe is the persistent
+	// pipeline view handed to policy.Alg1 so the hot path allocates
+	// nothing.
+	mon  *policy.Monitor
+	pipe simPipeline
 
 	// Prediction memo (Algorithm 1 fast path). Algorithm 1 enumerates L
 	// frequency levels over the worker's whole pipeline, so a naive
@@ -112,21 +121,6 @@ type ReTail struct {
 	// scratch backs the Complete hook's feature build (drift bookkeeping),
 	// which needs no memo because each completed request is scored once.
 	scratch []float64
-
-	// Monitor window: sojourn samples from the recent past, pruned by
-	// age so the tail estimate is meaningful at any request rate.
-	winAt  []sim.Time
-	winVal []float64
-	// MonitorWindowSpan is how much history the tail estimate covers.
-	monitorSpan sim.Duration
-	// smoothedTail is an EWMA of the measured tail; the raw percentile of
-	// a short window is too noisy to steer QoS′ without oscillation.
-	smoothedTail float64
-	// nextAdjustAt rate-limits QoS′ moves to the service's measured
-	// response time: adjusting again before completed requests reflect the
-	// previous move steers on stale data and produces limit cycles on
-	// services with multi-second sojourns (Sphinx).
-	nextAdjustAt sim.Time
 
 	retraining bool
 
@@ -184,14 +178,23 @@ func NewReTail(qos workload.QoS, cfg ReTailConfig) *ReTail {
 		cfg.RetrainLatency = 50 * sim.Millisecond
 	}
 	m := &ReTail{
-		cfg:         cfg,
-		qos:         qos,
-		rd:          newReadiness(),
-		model:       cfg.Model,
-		qosPrime:    qos.Latency,
-		monitorSpan: 500 * sim.Millisecond,
-		pred:        map[uint64]*predEntry{},
+		cfg:   cfg,
+		qos:   qos,
+		rd:    policy.NewReadiness(),
+		model: cfg.Model,
+		pred:  map[uint64]*predEntry{},
 	}
+	m.pipe.m = m
+	m.mon = policy.NewMonitor(policy.MonitorConfig{
+		Target:     float64(qos.Latency),
+		Percentile: qos.Percentile,
+		Interval:   float64(cfg.MonitorInterval),
+		StepFrac:   cfg.StepFrac,
+		RelaxBelow: cfg.RelaxBelow,
+		Cap:        cfg.QoSPrimeCap,
+		Span:       float64(500 * sim.Millisecond),
+		Disabled:   cfg.DisableMonitor,
+	})
 	m.drift = predict.NewDriftDetector(float64(qos.Latency), cfg.DriftThreshold, cfg.DriftWindow)
 	return m
 }
@@ -211,7 +214,7 @@ func (m *ReTail) Instrument(reg *telemetry.Registry, app string) {
 	appLabel := telemetry.L("app", app)
 	m.qosPrimeGauge = reg.Gauge(server.MetricQoSPrime,
 		"Internal latency target QoS' steered by the latency monitor.", appLabel)
-	m.qosPrimeGauge.Set(float64(m.qosPrime))
+	m.qosPrimeGauge.Set(m.mon.QoSPrime())
 	m.retrainCounter = reg.Counter(server.MetricRetrainsTotal,
 		"Drift-triggered model retrains that went live.", appLabel)
 	m.decisionCounter = reg.Counter(server.MetricDecisionsTotal,
@@ -246,7 +249,12 @@ func (m *ReTail) Decisions() int { return m.decisions }
 func (m *ReTail) Retrains() int { return m.retrains }
 
 // QoSPrime returns the current internal latency target.
-func (m *ReTail) QoSPrime() sim.Duration { return m.qosPrime }
+func (m *ReTail) QoSPrime() sim.Duration { return sim.Duration(m.mon.QoSPrime()) }
+
+// MonitorSettings returns the effective QoS′-monitor configuration (all
+// defaults filled). The replay-parity harness feeds it to the live
+// runtime's decider so both monitors start from identical constants.
+func (m *ReTail) MonitorSettings() policy.MonitorConfig { return m.mon.Config() }
 
 // Attach implements Manager.
 func (m *ReTail) Attach(e *sim.Engine, s *server.Server) {
@@ -271,114 +279,35 @@ func (m *ReTail) Attach(e *sim.Engine, s *server.Server) {
 	m.scheduleMonitor(e)
 }
 
+// simTimer binds policy.Timer to the simulator's event loop: delays are
+// virtual time, and the callback receives virtual-now as float64 seconds
+// (sim.Time's underlying representation, so the conversion is identity).
+type simTimer struct{ e *sim.Engine }
+
+func (t simTimer) AfterFunc(d policy.Duration, name string, fn func(now policy.Time)) {
+	t.e.After(sim.Duration(d), name, func(en *sim.Engine) { fn(float64(en.Now())) })
+}
+
 func (m *ReTail) scheduleMonitor(e *sim.Engine) {
-	e.After(m.cfg.MonitorInterval, "retail.monitor", func(en *sim.Engine) {
-		m.monitorTick(en)
-		m.scheduleMonitor(en)
-	})
+	policy.RunMonitor(simTimer{e}, float64(m.cfg.MonitorInterval), "retail.monitor", m.monitorTick)
 }
 
-// pruneWindow drops monitor samples older than monitorSpan, but always
-// keeps the most recent minKeep so slow services (Sphinx completes a
-// handful of requests per second) still get a usable tail estimate.
-func (m *ReTail) pruneWindow(now sim.Time) {
-	const minKeep = 60
-	cut := 0
-	for cut < len(m.winAt) && m.winAt[cut] < now-m.monitorSpan && len(m.winAt)-cut > minKeep {
-		cut++
-	}
-	if cut > 0 {
-		m.winAt = append(m.winAt[:0], m.winAt[cut:]...)
-		m.winVal = append(m.winVal[:0], m.winVal[cut:]...)
-	}
-	// Hard cap so the slice cannot grow without bound at high RPS between
-	// monitor ticks.
-	if n := len(m.winVal); n > 8192 {
-		m.winAt = append(m.winAt[:0], m.winAt[n-8192:]...)
-		m.winVal = append(m.winVal[:0], m.winVal[n-8192:]...)
-	}
-}
-
-// measuredTail returns the QoS-percentile sojourn over the recent window.
-func (m *ReTail) measuredTail(now sim.Time) (float64, bool) {
-	m.pruneWindow(now)
-	if len(m.winVal) < 20 {
-		return 0, false
-	}
-	return stats.Percentile(m.winVal, m.qos.Percentile), true
-}
-
-// monitorTick implements the latency monitor (§VI-C): compare the measured
-// tail over the recent window with the target and nudge QoS′.
-func (m *ReTail) monitorTick(e *sim.Engine) {
+// monitorTick runs one shared-monitor step (§VI-C, policy.Monitor.Tick)
+// and mirrors the result into the simulator-side telemetry. The
+// DisableMonitor ablation returns before the gauge and trace updates —
+// the historical behavior the ablation goldens encode.
+func (m *ReTail) monitorTick(now policy.Time) {
+	m.mon.Tick(now)
 	if m.cfg.DisableMonitor {
-		m.qosPrime = m.qos.Latency
 		return
 	}
-	target := float64(m.qos.Latency)
-	step := sim.Duration(m.cfg.StepFrac * target)
-	if measured, ok := m.measuredTail(e.Now()); ok {
-		if m.smoothedTail == 0 {
-			m.smoothedTail = measured
-		} else {
-			m.smoothedTail += 0.35 * (measured - m.smoothedTail)
-		}
-		// Both directions are rate-limited to a fraction of the measured
-		// response time: adjusting again before completed requests reflect
-		// the previous move steers on stale data and produces limit cycles
-		// on services with multi-second sojourns (Sphinx). Decreases react
-		// faster than relaxations, and an outright overload (tail 15% past
-		// target) bypasses the limit entirely, preserving the paper's
-		// property that a load spike drives QoS′ to the floor within 2 s.
-		rateGap := func(frac float64) sim.Duration {
-			gap := sim.Duration(frac * m.smoothedTail)
-			if gap < m.cfg.MonitorInterval {
-				gap = m.cfg.MonitorInterval
-			}
-			return gap
-		}
-		switch {
-		// The guard band keeps the closed-loop equilibrium just under the
-		// target instead of oscillating across it. The correction scales
-		// with the excess: a tail grazing the guard gets a nudge, a real
-		// violation gets the full step — otherwise measurement noise near
-		// the target triggers full cuts and burns power on services whose
-		// tail legitimately rides close to QoS (ImgDNN at max load). The
-		// band sits at 4% under target so the equilibrium keeps a small
-		// safety margin: with fair JSQ tie-breaking the p99 concentrates
-		// tightly, and a band that starts at the target itself parks the
-		// steady-state tail a hair past it.
-		case m.smoothedTail > 0.96*target:
-			if e.Now() >= m.nextAdjustAt || m.smoothedTail > 1.15*target {
-				frac := (m.smoothedTail/target - 0.96) / 0.06
-				if frac > 1 {
-					frac = 1
-				}
-				m.qosPrime -= sim.Duration(float64(step) * frac)
-				m.nextAdjustAt = e.Now() + rateGap(0.2)
-			}
-		case m.smoothedTail < m.cfg.RelaxBelow*target && e.Now() >= m.nextAdjustAt:
-			// Half steps upward: giving latency back is cheap, taking it
-			// back after a violation is not.
-			m.qosPrime += step / 2
-			m.nextAdjustAt = e.Now() + rateGap(0.6)
-		}
-		lo := sim.Duration(0.02 * target)
-		hi := sim.Duration(m.cfg.QoSPrimeCap * target)
-		if m.qosPrime < lo {
-			m.qosPrime = lo
-		}
-		if m.qosPrime > hi {
-			m.qosPrime = hi
-		}
-	}
 	if m.qosPrimeGauge != nil {
-		m.qosPrimeGauge.Set(float64(m.qosPrime))
+		m.qosPrimeGauge.Set(m.mon.QoSPrime())
 	}
 	if m.collectTraces {
-		m.qosPrimeTrace = append(m.qosPrimeTrace, TracePoint{e.Now(), float64(m.qosPrime)})
+		m.qosPrimeTrace = append(m.qosPrimeTrace, TracePoint{sim.Time(now), m.mon.QoSPrime()})
 		if cur, ok := m.drift.Current(); ok {
-			m.rmseTrace = append(m.rmseTrace, TracePoint{e.Now(), cur})
+			m.rmseTrace = append(m.rmseTrace, TracePoint{sim.Time(now), cur})
 		}
 	}
 }
@@ -397,7 +326,7 @@ type predEntry struct {
 // and invalidating stale predictions when the request's readiness or the
 // model generation changed since the entry was filled.
 func (m *ReTail) entryFor(r *workload.Request) *predEntry {
-	ready := m.rd.isReady(r)
+	ready := m.rd.IsReady(r.ID)
 	ent := m.pred[r.ID]
 	if ent == nil {
 		if n := len(m.predFree); n > 0 {
@@ -456,62 +385,72 @@ func (m *ReTail) predictService(lvl cpu.Level, r *workload.Request) float64 {
 	return v
 }
 
-// targetLevel is Algorithm 1: enumerate frequencies from lowest to
-// second-highest, and return the first under which every request in the
-// worker's pipeline (head, queue, plus an optional just-arriving request
-// not yet enqueued) is predicted to meet QoS′. headProgress discounts the
-// head request's already-completed work (progress is what hardware cycle
-// counters report in the real system).
-func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Request, headProgress float64, extra *workload.Request) cpu.Level {
-	now := e.Now()
-	queue := w.Queue()
-	maxLvl := m.grid.MaxLevel()
-	// The binding request defaults to the head: if the lowest level is
-	// chosen without any failed check, the head bound trivially. Each
-	// failed deadline check overwrites it, so when the loop settles on
-	// level L the field holds whichever request ruled out L−1 (or forced
-	// the max-level fallback). A scalar store per failure keeps the hot
-	// loop allocation-free whether or not a sink is attached.
-	m.bindID = head.ID
-	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
-		serviceSum := 0.0
-		ok := true
-		// Head request: remaining work only.
-		svc := m.predictService(lvl, head) * (1 - headProgress)
-		if svc < 0 {
-			svc = 0
-		}
-		if float64(now-head.Gen)+svc > float64(m.qosPrime) {
-			m.bindID = head.ID
-			continue
-		}
-		serviceSum = svc
-		if m.cfg.HeadOnly {
-			return lvl // ablation: ignore queued requests entirely
-		}
-		// The per-request check is inlined (not a closure) so the hot loop
-		// captures nothing and allocates nothing.
-		for _, r := range queue {
-			s := m.predictService(lvl, r)
-			if float64(now-r.Gen)+serviceSum+s > float64(m.qosPrime) {
-				m.bindID = r.ID
-				ok = false
-				break
-			}
-			serviceSum += s
-		}
-		if ok && extra != nil {
-			s := m.predictService(lvl, extra)
-			if float64(now-extra.Gen)+serviceSum+s > float64(m.qosPrime) {
-				m.bindID = extra.ID
-				ok = false
-			}
-		}
-		if ok {
-			return lvl
-		}
+// simPipeline adapts one worker's pipeline (head, queued requests, and
+// an optional just-arriving extra not yet enqueued) to policy.Pipeline.
+// ReTail keeps one persistent value and refills it per decision, and the
+// &m.pipe interface conversion is a pointer — not a box — so the hot
+// path allocates nothing (TestRetailDecideZeroAlloc).
+type simPipeline struct {
+	m            *ReTail
+	head         *workload.Request
+	queue        []*workload.Request
+	extra        *workload.Request
+	headProgress float64
+}
+
+// req maps a pipeline index to its request: 0 is the head, 1..len(queue)
+// are the queued requests in FCFS order, and the final index — present
+// only when extra is non-nil — is the just-arriving request.
+func (p *simPipeline) req(i int) *workload.Request {
+	if i == 0 {
+		return p.head
 	}
-	return maxLvl
+	if i <= len(p.queue) {
+		return p.queue[i-1]
+	}
+	return p.extra
+}
+
+func (p *simPipeline) Len() int {
+	n := 1 + len(p.queue)
+	if p.extra != nil {
+		n++
+	}
+	return n
+}
+
+func (p *simPipeline) Gen(i int) policy.Time { return float64(p.req(i).Gen) }
+
+func (p *simPipeline) Predict(lvl cpu.Level, i int) float64 {
+	return p.m.predictService(lvl, p.req(i))
+}
+
+func (p *simPipeline) HeadProgress() float64 { return p.headProgress }
+
+// targetLevel is Algorithm 1 (policy.Alg1) over the worker's pipeline:
+// enumerate frequencies from lowest to second-highest, and return the
+// first under which every request in the pipeline (head, queue, plus an
+// optional just-arriving request not yet enqueued) is predicted to meet
+// QoS′. headProgress discounts the head request's already-completed work
+// (progress is what hardware cycle counters report in the real system).
+//
+// The binding request defaults to the head: if the lowest level is
+// chosen without any failed check, the head bound trivially. Each failed
+// deadline check overwrites it, so when the search settles on level L
+// the field holds whichever request ruled out L−1 (or forced the
+// max-level fallback). A scalar store per failure keeps the hot loop
+// allocation-free whether or not a sink is attached.
+func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Request, headProgress float64, extra *workload.Request) cpu.Level {
+	m.pipe.head = head
+	m.pipe.queue = w.Queue()
+	m.pipe.extra = extra
+	m.pipe.headProgress = headProgress
+	lvl, bind := policy.Alg1(&m.pipe, float64(e.Now()), m.mon.QoSPrime(), m.grid.MaxLevel(), m.cfg.HeadOnly)
+	m.bindID = m.pipe.req(bind).ID
+	// Drop the request references so completed requests are collectable
+	// between decisions.
+	m.pipe.head, m.pipe.queue, m.pipe.extra = nil, nil, nil
+	return lvl
 }
 
 // peekPredict returns the model's estimate for r at lvl without charging
@@ -582,7 +521,7 @@ func (m *ReTail) decide(e *sim.Engine, w *server.Worker, head *workload.Request,
 			Level:            lvl,
 			Binding:          m.bindID,
 			QueueLen:         len(w.Queue()),
-			QoSPrime:         m.qosPrime,
+			QoSPrime:         sim.Duration(m.mon.QoSPrime()),
 			DecisionDelay:    cost,
 			PredictedService: m.peekPredict(lvl, head),
 		})
@@ -605,7 +544,7 @@ func (m *ReTail) Arrival(e *sim.Engine, w *server.Worker, r *workload.Request) b
 
 // Ready implements server.Hooks.
 func (m *ReTail) Ready(e *sim.Engine, w *server.Worker, r *workload.Request) {
-	m.rd.markReady(r)
+	m.rd.MarkReady(r.ID)
 	// Fresh application features can change the pipeline estimate.
 	if cur := w.Current(); cur != nil && cur != r {
 		m.decide(e, w, cur, w.ProgressFraction(e.Now()), nil)
@@ -636,9 +575,8 @@ func cleanSample(r *workload.Request) bool {
 // Complete implements server.Hooks: record the sample for online
 // (re)training, feed the drift detector and the latency monitor.
 func (m *ReTail) Complete(e *sim.Engine, w *server.Worker, r *workload.Request) {
-	m.winAt = append(m.winAt, e.Now())
-	m.winVal = append(m.winVal, float64(r.Sojourn()))
-	m.rd.forget(r)
+	m.mon.Observe(float64(e.Now()), float64(r.Sojourn()))
+	m.rd.Forget(r.ID)
 	m.forgetPrediction(r)
 	if cleanSample(r) {
 		actual := float64(r.ServiceTime())
@@ -702,4 +640,4 @@ func (m *ReTail) Model() predict.Predictor { return m.model }
 func (m *ReTail) SetDriftBaseline(rmseOverQoS float64) { m.drift.SetBaseline(rmseOverQoS) }
 
 // SmoothedTail exposes the monitor's EWMA tail estimate for diagnostics.
-func (m *ReTail) SmoothedTail() float64 { return m.smoothedTail }
+func (m *ReTail) SmoothedTail() float64 { return m.mon.SmoothedTail() }

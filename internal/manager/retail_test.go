@@ -108,8 +108,7 @@ func TestReTailMonitorAdjustsQoSPrime(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		at := sim.Time(i) * 5e-3
 		rig.e.At(at, "fake", func(en *sim.Engine) {
-			m.winAt = append(m.winAt, en.Now())
-			m.winVal = append(m.winVal, 80e-3) // 1.6× target
+			m.mon.Observe(float64(en.Now()), 80e-3) // 1.6× target
 		})
 	}
 	rig.e.Run(1.0)
@@ -121,13 +120,50 @@ func TestReTailMonitorAdjustsQoSPrime(t *testing.T) {
 	for i := 0; i < 4000; i++ {
 		at := rig.e.Now() + sim.Time(i)*5e-3
 		rig.e.At(at, "fake2", func(en *sim.Engine) {
-			m.winAt = append(m.winAt, en.Now())
-			m.winVal = append(m.winVal, 10e-3) // 0.2× target
+			m.mon.Observe(float64(en.Now()), 10e-3) // 0.2× target
 		})
 	}
 	rig.e.Run(rig.e.Now() + 21)
 	if m.QoSPrime() <= violated {
 		t.Fatalf("QoS′ = %v did not relax from %v under slack", m.QoSPrime(), violated)
+	}
+}
+
+// TestReTailMonitorRecoversAfterBurst: the sim-side regression for the
+// monitor unification. Historically only the live runtime pruned stale
+// samples by age; the simulator's window could keep a drained burst's
+// violations forever, so QoS′ could only ratchet down. With the shared
+// policy.Monitor both runtimes age-prune (TestLiveMonitorRecoversAfterBurst
+// is the wall-clock twin; TestMonitorBurstRecovery pins the core itself).
+func TestReTailMonitorRecoversAfterBurst(t *testing.T) {
+	app := varApp{base: 10e-3, slope: 0, spread: 1, qos: workload.QoS{Latency: 50e-3, Percentile: 99}}
+	rig := newRig(t, app, 1)
+	m := NewReTail(app.QoS(), rig.retailConfig())
+	m.Attach(rig.e, rig.srv)
+	// A latency burst: 100 completions at 3× target inside 0.2 s.
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * 2e-3
+		rig.e.At(at, "burst", func(en *sim.Engine) {
+			m.mon.Observe(float64(en.Now()), 150e-3)
+		})
+	}
+	rig.e.Run(0.5)
+	hurt := m.QoSPrime()
+	if hurt >= app.qos.Latency {
+		t.Fatalf("setup: QoS′ = %v not cut by the burst", hurt)
+	}
+	// The burst drains; healthy traffic flows. The burst samples age past
+	// the 500 ms monitor span and must be pruned, letting QoS′ relax.
+	for i := 0; i < 4000; i++ {
+		at := rig.e.Now() + sim.Time(i)*5e-3
+		rig.e.At(at, "healthy", func(en *sim.Engine) {
+			m.mon.Observe(float64(en.Now()), 15e-3) // 0.3× target
+		})
+	}
+	rig.e.Run(rig.e.Now() + 21)
+	if m.QoSPrime() <= hurt {
+		t.Fatalf("QoS′ stuck at %v after the burst drained (want recovery above %v)",
+			m.QoSPrime(), hurt)
 	}
 }
 

@@ -2,13 +2,12 @@ package manager
 
 import (
 	"math"
-	"sort"
 
 	"retail/internal/cpu"
+	"retail/internal/policy"
 	"retail/internal/predict"
 	"retail/internal/server"
 	"retail/internal/sim"
-	"retail/internal/stats"
 	"retail/internal/workload"
 )
 
@@ -29,8 +28,10 @@ type Rubik struct {
 	qos  workload.QoS
 	grid *cpu.Grid
 
-	// profile is the sorted service-time sample set at max frequency.
-	profile []float64
+	// tail is the shared distribution-tail estimator (policy.RubikTail):
+	// the sorted service-time profile at max frequency, scaled
+	// proportionally to the candidate frequency.
+	tail *policy.RubikTail
 	// TailQuantile is the distribution quantile used as each request's
 	// latency prediction (0–1). The default 0.999 reflects the paper's
 	// description of Rubik as estimating *worst-case* latency ("often too
@@ -40,6 +41,9 @@ type Rubik struct {
 	// the manager core like ReTail's, off the critical path).
 	InferenceCost sim.Duration
 
+	// pipe is the persistent pipeline view handed to policy.Alg1.
+	pipe rubikPipeline
+
 	inferences uint64
 	// sink receives decision-attribution records (nil = tracing off).
 	sink server.DecisionSink
@@ -48,10 +52,14 @@ type Rubik struct {
 // NewRubik builds the manager from an offline profile of service times at
 // max frequency (seconds).
 func NewRubik(qos workload.QoS, profileAtMax []float64) *Rubik {
-	p := make([]float64, len(profileAtMax))
-	copy(p, profileAtMax)
-	sort.Float64s(p)
-	return &Rubik{qos: qos, profile: p, TailQuantile: 0.999, InferenceCost: 1 * sim.Microsecond}
+	m := &Rubik{
+		qos:           qos,
+		tail:          policy.NewRubikTail(profileAtMax, 0.999),
+		TailQuantile:  0.999,
+		InferenceCost: 1 * sim.Microsecond,
+	}
+	m.pipe.m = m
+	return m
 }
 
 func (m *Rubik) Name() string { return "rubik" }
@@ -80,11 +88,8 @@ func (m *Rubik) tailServiceAt(lvl cpu.Level) float64 {
 // tailAt is the uncounted estimate, used for attribution so tracing never
 // perturbs the diagnostic inference count.
 func (m *Rubik) tailAt(lvl cpu.Level) float64 {
-	if len(m.profile) == 0 {
-		return 0
-	}
-	q := stats.PercentileSorted(m.profile, m.TailQuantile*100)
-	return q * m.grid.MaxFreq() / m.grid.Freq(lvl)
+	m.tail.Quantile = m.TailQuantile
+	return m.tail.Tail(m.grid.MaxFreq(), m.grid.Freq(lvl))
 }
 
 // RMSEAgainst reports the prediction error of Rubik's tail estimate versus
@@ -120,47 +125,64 @@ func (m *Rubik) RMSEAgainstAt(grid *cpu.Grid, samples []predict.Sample, actual [
 	return math.Sqrt(sum / float64(len(samples)))
 }
 
+// rubikPipeline adapts a worker's pipeline to policy.Pipeline with
+// Rubik's estimator: every member's prediction at a level is the same
+// distribution tail, so the adapter computes — and charges to the
+// inference counter — exactly one tail estimate per level Algorithm 1
+// tries, preserving the original implementation's inference accounting.
+type rubikPipeline struct {
+	m            *Rubik
+	head         *workload.Request
+	queue        []*workload.Request
+	extra        *workload.Request
+	headProgress float64
+	// cachedLvl/cachedTail memoize the per-level estimate within one
+	// decision; cachedLvl starts at -1 (no level computed yet).
+	cachedLvl  int
+	cachedTail float64
+}
+
+func (p *rubikPipeline) req(i int) *workload.Request {
+	if i == 0 {
+		return p.head
+	}
+	if i <= len(p.queue) {
+		return p.queue[i-1]
+	}
+	return p.extra
+}
+
+func (p *rubikPipeline) Len() int {
+	n := 1 + len(p.queue)
+	if p.extra != nil {
+		n++
+	}
+	return n
+}
+
+func (p *rubikPipeline) Gen(i int) policy.Time { return float64(p.req(i).Gen) }
+
+func (p *rubikPipeline) Predict(lvl cpu.Level, _ int) float64 {
+	if int(lvl) != p.cachedLvl {
+		p.cachedLvl = int(lvl)
+		p.cachedTail = p.m.tailServiceAt(lvl)
+	}
+	return p.cachedTail
+}
+
+func (p *rubikPipeline) HeadProgress() float64 { return p.headProgress }
+
 func (m *Rubik) decide(e *sim.Engine, w *server.Worker, head *workload.Request, headProgress float64, extra *workload.Request) {
 	now := e.Now()
 	queue := w.Queue()
-	target := float64(m.qos.Latency)
-	maxLvl := m.grid.MaxLevel()
-	chosen := maxLvl
-	bind := head.ID // see ReTail.targetLevel: overwritten by each failed check
-	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
-		tail := m.tailServiceAt(lvl)
-		ok := true
-		svc := tail * (1 - headProgress)
-		if svc < 0 {
-			svc = 0
-		}
-		if float64(now-head.Gen)+svc > target {
-			bind = head.ID
-			continue
-		}
-		sum := svc
-		check := func(r *workload.Request) bool {
-			if float64(now-r.Gen)+sum+tail > target {
-				bind = r.ID
-				return false
-			}
-			sum += tail
-			return true
-		}
-		for _, r := range queue {
-			if !check(r) {
-				ok = false
-				break
-			}
-		}
-		if ok && extra != nil && !check(extra) {
-			ok = false
-		}
-		if ok {
-			chosen = lvl
-			break
-		}
-	}
+	m.pipe.head = head
+	m.pipe.queue = queue
+	m.pipe.extra = extra
+	m.pipe.headProgress = headProgress
+	m.pipe.cachedLvl = -1
+	chosen, bind := policy.Alg1(&m.pipe, float64(now), float64(m.qos.Latency), m.grid.MaxLevel(), false)
+	bindID := m.pipe.req(bind).ID
+	m.pipe.head, m.pipe.queue, m.pipe.extra = nil, nil, nil
 	cost := m.InferenceCost // table lookups are trivially cheap
 	if m.sink != nil {
 		m.sink.RecordDecision(server.Decision{
@@ -168,7 +190,7 @@ func (m *Rubik) decide(e *sim.Engine, w *server.Worker, head *workload.Request, 
 			Worker:           w.ID,
 			Head:             head.ID,
 			Level:            chosen,
-			Binding:          bind,
+			Binding:          bindID,
 			QueueLen:         len(queue),
 			QoSPrime:         m.qos.Latency, // Rubik has no latency monitor
 			DecisionDelay:    cost,

@@ -1,0 +1,84 @@
+package policy
+
+import "retail/internal/cpu"
+
+// Pipeline is one worker's FCFS pipeline as Algorithm 1 sees it:
+// index 0 is the head (running) request, indexes 1..Len()-1 are the
+// queued requests in FCFS order — including, when the adapter chooses, a
+// just-arriving request not yet enqueued as the final member (§VI-B:
+// Algorithm 1 re-checks the running request's frequency on every
+// arrival, accounting for the newcomer's deadline too).
+//
+// Adapters keep a persistent Pipeline value and refill it per decision so
+// the hot path allocates nothing.
+type Pipeline interface {
+	// Len returns the number of pipeline members (head + queued + extra).
+	Len() int
+	// Gen returns member i's generation timestamp (t1), in the same
+	// timebase as the `now` passed to Alg1.
+	Gen(i int) Time
+	// Predict returns the predicted full service time of member i at
+	// frequency level lvl, in seconds. Adapters are responsible for
+	// feature observability, memoization and inference accounting.
+	Predict(lvl cpu.Level, i int) float64
+	// HeadProgress returns the fraction of the head request's work
+	// already completed (hardware cycle counters report the equivalent in
+	// the real system); the head's remaining service is discounted by it.
+	HeadProgress() float64
+}
+
+// Alg1 is the paper's Algorithm 1: enumerate frequency levels from
+// lowest to second-highest and return the first under which every
+// pipeline member is predicted to meet the budget (QoS′); fall back to
+// the max level when none suffices.
+//
+// The second return value is the index of the *binding* member: the one
+// whose predicted deadline ruled out the last insufficient level (or
+// forced the max-level fallback). It defaults to 0 — if the lowest level
+// is chosen without any failed check, the head bound trivially.
+//
+// headOnly is the ablation switch: examine only the head request,
+// ignoring the queueing delay its frequency choice creates for the rest
+// of the pipeline.
+//
+// Every float64 operation below — order, associativity, comparison
+// direction — is a verbatim port of the original simulator
+// implementation, so a fixed-seed simulation decides identically before
+// and after the extraction.
+func Alg1(p Pipeline, now Time, budget Duration, maxLvl cpu.Level, headOnly bool) (cpu.Level, int) {
+	n := p.Len()
+	headProgress := p.HeadProgress()
+	binding := 0
+	for lvl := cpu.Level(0); lvl < maxLvl; lvl++ {
+		ok := true
+		// Head request: remaining work only.
+		svc := p.Predict(lvl, 0) * (1 - headProgress)
+		if svc < 0 {
+			svc = 0
+		}
+		if now-p.Gen(0)+svc > budget {
+			binding = 0
+			continue
+		}
+		serviceSum := svc
+		if headOnly {
+			return lvl, binding // ablation: ignore queued requests entirely
+		}
+		// Queued members (and the optional just-arriving extra, which the
+		// adapter appends as the final member): each must still meet the
+		// budget after everything ahead of it drains.
+		for i := 1; i < n; i++ {
+			s := p.Predict(lvl, i)
+			if now-p.Gen(i)+serviceSum+s > budget {
+				binding = i
+				ok = false
+				break
+			}
+			serviceSum += s
+		}
+		if ok {
+			return lvl, binding
+		}
+	}
+	return maxLvl, binding
+}

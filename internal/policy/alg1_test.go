@@ -1,0 +1,142 @@
+package policy
+
+import (
+	"testing"
+
+	"retail/internal/cpu"
+)
+
+// slicePipeline is a test Pipeline over parallel slices: svc[i][lvl] is
+// member i's predicted service at lvl.
+type slicePipeline struct {
+	gens     []float64
+	svc      [][]float64
+	progress float64
+}
+
+func (p *slicePipeline) Len() int                             { return len(p.gens) }
+func (p *slicePipeline) Gen(i int) Time                       { return p.gens[i] }
+func (p *slicePipeline) Predict(lvl cpu.Level, i int) float64 { return p.svc[i][int(lvl)] }
+func (p *slicePipeline) HeadProgress() float64                { return p.progress }
+
+// TestAlg1PicksLowestSufficientLevel: the first level under which every
+// member meets the budget wins, and the binding member is whoever ruled
+// out the level below.
+func TestAlg1PicksLowestSufficientLevel(t *testing.T) {
+	// Three levels. Head fits at every level; the queued request only
+	// fits from level 1 up.
+	p := &slicePipeline{
+		gens: []float64{0, 0},
+		svc: [][]float64{
+			{0.004, 0.003, 0.002},
+			{0.007, 0.004, 0.003},
+		},
+	}
+	// now=0, budget=0.008: level 0 gives queue member 0.004+0.007=0.011 >
+	// 0.008 (binding = member 1); level 1 gives 0.003+0.004=0.007 ≤ 0.008.
+	lvl, bind := Alg1(p, 0, 0.008, 2, false)
+	if lvl != 1 || bind != 1 {
+		t.Fatalf("lvl=%d bind=%d, want lvl=1 bind=1", lvl, bind)
+	}
+}
+
+// TestAlg1HeadProgressDiscount: completed work shrinks the head's
+// remaining service, letting a slower level pass.
+func TestAlg1HeadProgressDiscount(t *testing.T) {
+	p := &slicePipeline{
+		gens: []float64{0},
+		svc:  [][]float64{{0.010, 0.004}},
+	}
+	if lvl, _ := Alg1(p, 0, 0.008, 1, false); lvl != 1 {
+		t.Fatalf("no progress: lvl=%d, want fallback 1", lvl)
+	}
+	p.progress = 0.5 // remaining 0.005 ≤ 0.008
+	if lvl, bind := Alg1(p, 0, 0.008, 1, false); lvl != 0 || bind != 0 {
+		t.Fatalf("progress 0.5: lvl=%d bind=%d, want 0,0", lvl, bind)
+	}
+}
+
+// TestAlg1MaxLevelFallback: when no level suffices the max level is
+// returned with the binding member of the last failed check.
+func TestAlg1MaxLevelFallback(t *testing.T) {
+	p := &slicePipeline{
+		gens: []float64{0, 0},
+		svc: [][]float64{
+			{0.001, 0.001},
+			{0.100, 0.100},
+		},
+	}
+	lvl, bind := Alg1(p, 0, 0.008, 2, false)
+	if lvl != 2 || bind != 1 {
+		t.Fatalf("lvl=%d bind=%d, want max fallback 2 binding member 1", lvl, bind)
+	}
+}
+
+// TestAlg1QueueingDelayAccumulates: each queued member's check includes
+// the predicted drain of everything ahead of it.
+func TestAlg1QueueingDelayAccumulates(t *testing.T) {
+	p := &slicePipeline{
+		gens: []float64{0, 0, 0},
+		svc: [][]float64{
+			{0.003, 0.002},
+			{0.003, 0.002},
+			{0.003, 0.002},
+		},
+	}
+	// Level 0: last member sees 0.009 > 0.008; level 1: 0.006 ≤ 0.008.
+	lvl, bind := Alg1(p, 0, 0.008, 2, false)
+	if lvl != 1 || bind != 2 {
+		t.Fatalf("lvl=%d bind=%d, want 1,2", lvl, bind)
+	}
+}
+
+// TestAlg1ElapsedWaitCounts: time already waited since generation eats
+// into the budget.
+func TestAlg1ElapsedWaitCounts(t *testing.T) {
+	p := &slicePipeline{
+		gens: []float64{0},
+		svc:  [][]float64{{0.005, 0.002}},
+	}
+	if lvl, _ := Alg1(p, 0.001, 0.008, 1, false); lvl != 0 {
+		t.Fatal("0.001+0.005 ≤ 0.008 must pass at level 0")
+	}
+	if lvl, _ := Alg1(p, 0.004, 0.008, 1, false); lvl != 1 {
+		t.Fatal("0.004+0.005 > 0.008 must fall back")
+	}
+}
+
+// TestAlg1HeadOnly: the ablation ignores the queue entirely.
+func TestAlg1HeadOnly(t *testing.T) {
+	p := &slicePipeline{
+		gens: []float64{0, 0},
+		svc: [][]float64{
+			{0.002, 0.001},
+			{0.100, 0.100}, // would force the fallback if examined
+		},
+	}
+	if lvl, _ := Alg1(p, 0, 0.008, 2, true); lvl != 0 {
+		t.Fatal("headOnly must ignore the hopeless queued member")
+	}
+	if lvl, _ := Alg1(p, 0, 0.008, 2, false); lvl != 2 {
+		t.Fatal("full pipeline must see the hopeless queued member")
+	}
+}
+
+// TestAlg1ZeroAlloc: the shared core allocates nothing per decision —
+// the property TestRetailDecideZeroAlloc asserts end-to-end for the
+// simulator adapter and TestLiveDecideZeroAlloc for the live adapter.
+func TestAlg1ZeroAlloc(t *testing.T) {
+	p := &slicePipeline{
+		gens: []float64{0, 0, 0},
+		svc: [][]float64{
+			{0.003, 0.002, 0.001},
+			{0.003, 0.002, 0.001},
+			{0.003, 0.002, 0.001},
+		},
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		Alg1(p, 0.001, 0.008, 3, false)
+	}); n != 0 {
+		t.Fatalf("Alg1 allocates %v per run, want 0", n)
+	}
+}

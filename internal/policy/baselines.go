@@ -1,0 +1,84 @@
+package policy
+
+import (
+	"sort"
+
+	"retail/internal/cpu"
+	"retail/internal/stats"
+)
+
+// RubikTail is Rubik's latency estimator (Kasture et al., MICRO'15): a
+// distribution tail over an offline service-time profile at max
+// frequency, scaled proportionally to the target frequency. It is not
+// feature-conditioned, which is exactly why Rubik is conservative
+// (largest RMSE of the baselines, Table V).
+type RubikTail struct {
+	profile []float64 // ascending
+	// Quantile is the distribution quantile used as each request's
+	// latency prediction (0–1); 0.999 reflects the paper's description of
+	// Rubik as estimating worst-case latency.
+	Quantile float64
+}
+
+// NewRubikTail copies and sorts the profile.
+func NewRubikTail(profileAtMax []float64, quantile float64) *RubikTail {
+	p := make([]float64, len(profileAtMax))
+	copy(p, profileAtMax)
+	sort.Float64s(p)
+	return &RubikTail{profile: p, Quantile: quantile}
+}
+
+// Tail returns the profiled tail quantile scaled proportionally from
+// maxFreq down to freq (Rubik assumes service time ∝ 1/frequency).
+func (t *RubikTail) Tail(maxFreq, freq float64) float64 {
+	if len(t.profile) == 0 {
+		return 0
+	}
+	q := stats.PercentileSorted(t.profile, t.Quantile*100)
+	return q * maxFreq / freq
+}
+
+// GeminiLevel is step one of Gemini's two-step DVFS: pick the lowest
+// frequency whose predicted service time fits the remaining budget
+// (falling back to maxLvl), then return the prediction at the chosen
+// level for scheduling the boost checkpoint. predict is called once per
+// tried level plus once for the final estimate — the exact consultation
+// pattern of the original implementation, so adapters that charge
+// inference costs per call count identically.
+func GeminiLevel(budget float64, maxLvl cpu.Level, predict func(cpu.Level) float64) (cpu.Level, float64) {
+	chosen := maxLvl
+	for lvl := cpu.Level(0); lvl <= maxLvl; lvl++ {
+		if predict(lvl) <= budget {
+			chosen = lvl
+			break
+		}
+	}
+	return chosen, predict(chosen)
+}
+
+// GeminiAdmit is Gemini's arrival-time load shedding: admit the request
+// only when its predicted completion — elapsed time since generation,
+// plus the queueing ahead of it, plus its own predicted service, all at
+// max frequency — still meets QoS.
+func GeminiAdmit(elapsed, queueAhead, svcAtMax, qos float64) bool {
+	return elapsed+queueAhead+svcAtMax <= qos
+}
+
+// EETLThreshold derives EETL's long-request threshold from an offline
+// service-time profile at max frequency: the quantile service time
+// scaled to the slow level's frequency, since that is the speed requests
+// actually execute at before the threshold crossing. A quantile outside
+// (0,1) falls back to 0.75; an empty profile yields 0 (no boosting).
+func EETLThreshold(profileAtMax []float64, quantile, maxFreq, slowFreq float64) Duration {
+	if quantile <= 0 || quantile >= 1 {
+		quantile = 0.75
+	}
+	if len(profileAtMax) == 0 {
+		return 0
+	}
+	p := make([]float64, len(profileAtMax))
+	copy(p, profileAtMax)
+	sort.Float64s(p)
+	base := stats.PercentileSorted(p, quantile*100)
+	return base * maxFreq / slowFreq
+}

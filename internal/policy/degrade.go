@@ -1,0 +1,34 @@
+package policy
+
+// Degrade holds the graceful-degradation predicates shared by both
+// runtimes: admission shedding keyed to QoS′ and deadline drops at
+// dequeue. (The DVFS retry/fallback machinery stays in the runtime
+// adapters — it is inherently about driving hardware — but the *when to
+// give up on a request* decisions live here with the rest of the
+// policy.)
+type Degrade struct {
+	// ShedFactor > 0 enables admission control: an arrival is shed when
+	// the chosen queue's drain estimate — (depth+1) × the request's
+	// predicted service time at max frequency — exceeds ShedFactor ×
+	// QoS′. Accepting a request that provably cannot meet the deadline
+	// only wastes energy and delays requests that still can.
+	ShedFactor float64
+	// DeadlineFactor > 0 enables dequeue deadline timeouts: a request
+	// whose queueing delay alone already exceeds DeadlineFactor × QoS is
+	// dropped without executing.
+	DeadlineFactor float64
+}
+
+// ShouldShed reports whether an arrival joining a queue of depth
+// requests should be refused, given its predicted service time at max
+// frequency and the current QoS′ (seconds).
+func (d Degrade) ShouldShed(depth int, svcAtMax float64, qosPrime Duration) bool {
+	return d.ShedFactor > 0 && float64(depth+1)*svcAtMax > d.ShedFactor*qosPrime
+}
+
+// DeadlineExceeded reports whether a dequeued request that has already
+// waited the given time against the (un-steered) QoS target should be
+// dropped without executing.
+func (d Degrade) DeadlineExceeded(waited Duration, qos Duration) bool {
+	return d.DeadlineFactor > 0 && waited > d.DeadlineFactor*qos
+}

@@ -1,0 +1,36 @@
+package policy
+
+// JSQ is the join-shortest-queue dispatch rule with a rotating
+// tie-break, shared by the simulator's server and the live runtime (the
+// PR-2 tie-bias fix previously existed only on the simulator side).
+//
+// The scan starts just past the previously chosen worker, and ties go to
+// the first worker scanned. The rotation pointer must advance relative
+// to the *chosen* index — advancing it blindly by one lets the scan
+// start and the chosen worker drift apart, which parks the tie-break on
+// a fixed subset of workers (with one worker busy and the rest tied, two
+// thirds of the traffic landed on a single idle worker instead of
+// spreading evenly).
+//
+// The zero value is ready to use. JSQ is not goroutine-safe; callers
+// serialize (the simulator is single-threaded, the live server picks
+// under its mutex).
+type JSQ struct {
+	next int
+}
+
+// Pick returns the index of the least-loaded of n workers per the
+// load function, applying the rotating tie-break and advancing the
+// rotation pointer past the chosen worker.
+func (j *JSQ) Pick(n int, load func(int) int) int {
+	bestIdx := j.next
+	bestLoad := load(bestIdx)
+	for i := 1; i < n; i++ {
+		idx := (j.next + i) % n
+		if l := load(idx); l < bestLoad {
+			bestIdx, bestLoad = idx, l
+		}
+	}
+	j.next = (bestIdx + 1) % n
+	return bestIdx
+}

@@ -1,0 +1,25 @@
+package policy
+
+// Readiness tracks which requests have completed stage-1 feature
+// extraction, keyed by request ID; policies consult it before trusting
+// application features (an unready request's late features read as
+// zero). It is clock- and runtime-agnostic: the simulator marks
+// readiness from its stage-1 events, a live runtime would mark it when
+// the application reports the features extracted.
+type Readiness struct {
+	ready map[uint64]bool
+}
+
+// NewReadiness returns an empty tracker.
+func NewReadiness() *Readiness { return &Readiness{ready: map[uint64]bool{}} }
+
+// MarkReady records that the request's application features are now
+// observable.
+func (rd *Readiness) MarkReady(id uint64) { rd.ready[id] = true }
+
+// IsReady reports whether the request's application features are
+// observable.
+func (rd *Readiness) IsReady(id uint64) bool { return rd.ready[id] }
+
+// Forget drops the request's entry once it leaves the system.
+func (rd *Readiness) Forget(id uint64) { delete(rd.ready, id) }

@@ -1,0 +1,37 @@
+package policy
+
+import "retail/internal/cpu"
+
+// Retail ties the pieces of the paper's policy together: Algorithm 1
+// steered by the QoS′ monitor. Both runtime adapters hold one Retail and
+// feed it through the same three entry points — Decide on scheduling
+// events, Observe on completions, Tick from the monitor cadence — so the
+// decision core is literally the same code whether time is virtual or
+// wall-clock.
+type Retail struct {
+	// Mon is the QoS′ latency monitor; Decide reads its current target.
+	Mon *Monitor
+	// HeadOnly is the ablation switch forwarded to Alg1.
+	HeadOnly bool
+}
+
+// NewRetail builds the core around a monitor configured for the
+// application's QoS.
+func NewRetail(mon MonitorConfig) *Retail {
+	return &Retail{Mon: NewMonitor(mon)}
+}
+
+// Decide runs Algorithm 1 over the pipeline against the current QoS′ and
+// returns the chosen level plus the binding member's index.
+func (c *Retail) Decide(p Pipeline, now Time, maxLvl cpu.Level) (cpu.Level, int) {
+	return Alg1(p, now, c.Mon.QoSPrime(), maxLvl, c.HeadOnly)
+}
+
+// Observe forwards a completion to the monitor window.
+func (c *Retail) Observe(at Time, sojourn float64) { c.Mon.Observe(at, sojourn) }
+
+// Tick advances the monitor.
+func (c *Retail) Tick(now Time) { c.Mon.Tick(now) }
+
+// QoSPrime returns the monitor's current internal latency target.
+func (c *Retail) QoSPrime() Duration { return c.Mon.QoSPrime() }

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"retail/internal/cpu"
+	"retail/internal/policy"
 	"retail/internal/sim"
 	"retail/internal/workload"
 )
@@ -82,6 +83,8 @@ type Server struct {
 	workers    []*Worker
 	policy     DispatchPolicy
 	rrNext     int
+	jsq        policy.JSQ
+	jsqLoad    func(int) int // persistent closure: pick allocates nothing
 	stage1Frac func(*workload.Request) float64
 
 	interference float64
@@ -118,6 +121,7 @@ func New(cfg Config) *Server {
 		core.OnChange = func(e *sim.Engine, _ cpu.Level) { w.onFreqChange(e) }
 		s.workers = append(s.workers, w)
 	}
+	s.jsqLoad = func(i int) int { return s.workers[i].Outstanding() }
 	return s
 }
 
@@ -168,24 +172,10 @@ func (s *Server) pick() *Worker {
 		s.rrNext = (s.rrNext + 1) % len(s.workers)
 		return w
 	}
-	// JSQ with rotating tie-break: the scan starts just past the previously
-	// chosen worker, and ties go to the first worker scanned. The rotation
-	// pointer must advance relative to the *chosen* index — advancing it
-	// blindly by one lets the scan start and the chosen worker drift apart,
-	// which parks the tie-break on a fixed subset of workers (with one
-	// worker busy and the rest tied, two thirds of the traffic landed on a
-	// single idle worker instead of spreading evenly).
-	n := len(s.workers)
-	bestIdx := s.rrNext
-	bestLoad := s.workers[bestIdx].Outstanding()
-	for i := 1; i < n; i++ {
-		idx := (s.rrNext + i) % n
-		if l := s.workers[idx].Outstanding(); l < bestLoad {
-			bestIdx, bestLoad = idx, l
-		}
-	}
-	s.rrNext = (bestIdx + 1) % n
-	return s.workers[bestIdx]
+	// JSQ with rotating tie-break (policy.JSQ — the shared rule both
+	// runtimes dispatch with; see that type for why the rotation pointer
+	// follows the chosen index).
+	return s.workers[s.jsq.Pick(len(s.workers), s.jsqLoad)]
 }
 
 // QueuedTotal returns the number of requests waiting (not running) across

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the repo's single percentile implementation now that
+// every runtime routes through it. Historically the live server carried
+// a private copy of the interpolation (nearest-rank variant) beside
+// stats.Percentile; the shared policy.Monitor killed the copy, and these
+// pins make the semantics of the survivor explicit so a reintroduced
+// variant cannot hide behind "roughly the same".
+
+// TestPercentileInterpolationPinned fixes the exact interpolation rule:
+// rank = p/100·(n−1), linear between the two closest order statistics.
+func TestPercentileInterpolationPinned(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{[]float64{10, 20, 30, 40}, 50, 25},   // rank 1.5 → midpoint
+		{[]float64{10, 20, 30, 40}, 75, 32.5}, // rank 2.25
+		{[]float64{10, 20, 30, 40}, 25, 17.5}, // rank 0.75
+		{[]float64{1, 2, 3, 4, 5}, 50, 3},     // odd n, exact rank
+		{[]float64{1, 2, 3, 4, 5}, 90, 4.6},   // rank 3.6
+		{[]float64{7}, 99, 7},                 // single sample
+		{[]float64{3, 1, 2}, 0, 1},            // p=0 → min (unsorted input)
+		{[]float64{3, 1, 2}, 100, 3},          // p=100 → max
+		{[]float64{0, 1000}, 99, 990},         // two-point interpolation
+		{[]float64{5, 5, 5, 5}, 99, 5},        // constant series
+		{[]float64{-4, -2, 0, 2, 4}, 62.5, 1}, // rank 2.5 with negatives
+	}
+	for _, c := range cases {
+		if got := Percentile(c.xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v, %g) = %g, want %g", c.xs, c.p, got, c.want)
+		}
+	}
+	// The p99 of 1..100 exercises the fractional tail rank the QoS′
+	// monitor relies on: rank 98.01 interpolates between 99 and 100.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	if got, want := Percentile(xs, 99), 99.01; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p99 of 1..100 = %g, want %g", got, want)
+	}
+}
+
+// TestPercentileSortedAgreesWithUnsorted: the two entry points are the
+// same estimator — bit-identical results, shuffled or not.
+func TestPercentileSortedAgreesWithUnsorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 257
+	sorted := make([]float64, n)
+	for i := range sorted {
+		sorted[i] = math.Exp(rng.NormFloat64())
+	}
+	shuffled := append([]float64(nil), sorted...)
+	rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	// Percentile sorts a copy internally; PercentileSorted wants order.
+	ordered := append([]float64(nil), sorted...)
+	sortFloats(ordered)
+	for _, p := range []float64{0, 1, 25, 50, 90, 95, 99, 99.9, 100} {
+		a := Percentile(shuffled, p)
+		b := PercentileSorted(ordered, p)
+		if a != b {
+			t.Errorf("p=%g: Percentile=%.17g PercentileSorted=%.17g", p, a, b)
+		}
+	}
+}
+
+// TestP2TracksExactPercentile pins the P² streaming estimator against
+// the exact interpolation on the same heavy-tailed stream: the two
+// estimators serve different masters (bounded-memory telemetry vs the
+// monitor's windowed exact tail) and must stay within a few percent of
+// each other, or dashboards and QoS′ steering would tell different
+// stories about the same traffic.
+func TestP2TracksExactPercentile(t *testing.T) {
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		rng := rand.New(rand.NewSource(11))
+		est := NewP2Quantile(q)
+		var xs []float64
+		for i := 0; i < 20000; i++ {
+			// Lognormal service times, the paper's workload shape.
+			x := math.Exp(0.8 * rng.NormFloat64())
+			est.Add(x)
+			xs = append(xs, x)
+		}
+		exact := Percentile(xs, q*100)
+		got, ok := est.Value()
+		if !ok {
+			t.Fatalf("q=%g: estimator not ready after 20k samples", q)
+		}
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("q=%g: P² %.4f vs exact %.4f (rel err %.3f > 0.05)", q, got, exact, rel)
+		}
+	}
+}
+
+// sortFloats is a local helper so the test reads without importing sort
+// at every call site.
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
