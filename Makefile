@@ -16,20 +16,23 @@
 #                        trace through the live runtime's decider must yield
 #                        byte-identical decisions (DESIGN.md §10)
 #   make parity-golden   rewrite the parity decision-stream golden
+#   make cluster-check   fleet sweep determinism: dispatcher streams, fleet
+#                        runs, sweep table vs golden + multi-seed SHA-256
+#   make cluster-golden  rewrite the fleet sweep goldens
 #   make smoke   build-and-run every example and command briefly
 #   make check   build + vet + test (the pre-commit bundle)
 
 GO ?= go
 
 # The hot-path micro-benchmarks tracked across PRs: the event loop
-# (freelist), Algorithm 1 decisions (prediction memo) and the sweep
-# runner. bench-check runs each exactly once under the race detector —
-# a correctness smoke, not a measurement; bench-baseline produces the
-# committed JSON trajectory from a real timed run.
-HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep)'
-HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments
+# (freelist), Algorithm 1 decisions (prediction memo), the sweep runner
+# and the fleet simulator. bench-check runs each exactly once under the
+# race detector — a correctness smoke, not a measurement; bench-baseline
+# produces the committed JSON trajectories from a real timed run.
+HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep|Cluster)'
+HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments ./internal/cluster
 
-.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden parity-check parity-golden smoke check clean
+.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden parity-check parity-golden cluster-check cluster-golden smoke check clean
 
 build:
 	$(GO) build ./...
@@ -51,7 +54,8 @@ bench-check:
 	$(GO) test -race -run '^$$' -bench $(HOT_BENCH) -benchtime=1x $(HOT_PKGS)
 
 bench-baseline:
-	$(GO) test -run '^$$' -bench $(HOT_BENCH) -benchmem $(HOT_PKGS) | $(GO) run ./cmd/benchjson > results/BENCH_sweep.json
+	$(GO) test -run '^$$' -bench $(HOT_BENCH) -benchmem ./internal/sim ./internal/manager ./internal/experiments | $(GO) run ./cmd/benchjson > results/BENCH_sweep.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCluster' -benchmem ./internal/cluster | $(GO) run ./cmd/benchjson > results/BENCH_cluster.json
 
 # The Chrome trace exporter's bytes are a contract (Perfetto tooling,
 # diffable artifacts): a fixed-seed simulation must serialize identically
@@ -85,6 +89,19 @@ parity-check:
 
 parity-golden:
 	$(GO) test -run TestReplayParity -count=1 ./internal/experiments -update
+
+# The cluster layer's determinism gate: dispatcher placement streams,
+# fleet runs and the routing×policy×load sweep table — byte-compared
+# against its golden and SHA-256-pinned at two seeds, plus the
+# -parallel 1 vs 8 byte-identity check. cluster-golden rewrites both
+# goldens after an intentional change.
+cluster-check:
+	$(GO) test -count=1 -run 'TestDispatcher|TestNewDispatcher|TestRoundRobinDispatch|TestLeastLoadedDispatch|TestGlobalJSQDispatch|TestPowerOfTwoDispatch' ./internal/policy
+	$(GO) test -count=1 -run 'TestRunFleet' ./internal/cluster
+	$(GO) test -count=1 -run 'TestFleetSweep' ./internal/experiments
+
+cluster-golden:
+	$(GO) test -run 'TestFleetSweep(Golden|MultiSeedSHA)' -count=1 ./internal/experiments -update
 
 smoke:
 	$(GO) test -run TestSmoke -v .

@@ -24,13 +24,16 @@ func main() {
 		{App: workload.NewSilo(), Workers: 4},   // storage tier
 	}
 
-	// 1. The cluster scheduler allocates per-tier budgets.
-	if err := cluster.AllocateBudgets(endToEnd, tiers, 0.1, 1); err != nil {
+	// 1. The cluster scheduler allocates per-tier budgets (0 samples =
+	// the default profiling draw).
+	profiled, err := cluster.AllocateBudgets(endToEnd, tiers, 0.1, 0, 1)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("end-to-end %v split across tiers:\n", endToEnd)
 	for i, t := range tiers {
-		fmt.Printf("  tier %d (%s): budget %v\n", i, t.App.Name(), t.Budget)
+		fmt.Printf("  tier %d (%s): profiled p95 %v → budget %v\n",
+			i, t.App.Name(), profiled[i], t.Budget)
 	}
 
 	// 2. Each tier gets its own calibrated ReTail runtime.

@@ -54,23 +54,33 @@ type flight struct {
 	tier int
 }
 
+// DefaultBudgetSamples is the per-tier profiling draw AllocateBudgets
+// uses when the caller passes samples <= 0.
+const DefaultBudgetSamples = 2000
+
 // AllocateBudgets splits the end-to-end latency target across tiers in
 // proportion to each tier's profiled tail (p95) service time at max
 // frequency, scaled by (1 − margin) to leave headroom for network and
 // estimation error. It is the "cluster scheduler with global visibility"
-// step and must run before Build.
-func AllocateBudgets(qos workload.QoS, tiers []*Tier, margin float64, seed int64) error {
+// step and must run before Build. samples is the per-tier profiling draw
+// (<= 0 selects DefaultBudgetSamples); the returned slice holds each
+// tier's profiled p95 service time, in tier order, so callers can report
+// the allocation inputs alongside the budgets.
+func AllocateBudgets(qos workload.QoS, tiers []*Tier, margin float64, samples int, seed int64) ([]sim.Duration, error) {
 	if len(tiers) == 0 {
-		return fmt.Errorf("cluster: no tiers")
+		return nil, fmt.Errorf("cluster: no tiers")
 	}
 	if margin < 0 || margin >= 1 {
-		return fmt.Errorf("cluster: margin %v outside [0,1)", margin)
+		return nil, fmt.Errorf("cluster: margin %v outside [0,1)", margin)
+	}
+	if samples <= 0 {
+		samples = DefaultBudgetSamples
 	}
 	tails := make([]float64, len(tiers))
 	total := 0.0
 	for i, t := range tiers {
 		rng := rand.New(rand.NewSource(seed + int64(i)))
-		svc := make([]float64, 2000)
+		svc := make([]float64, samples)
 		for j := range svc {
 			svc[j] = float64(t.App.Generate(rng).ServiceBase)
 		}
@@ -79,16 +89,18 @@ func AllocateBudgets(qos workload.QoS, tiers []*Tier, margin float64, seed int64
 	}
 	usable := float64(qos.Latency) * (1 - margin)
 	if total <= 0 {
-		return fmt.Errorf("cluster: degenerate tier profile")
+		return nil, fmt.Errorf("cluster: degenerate tier profile")
 	}
+	profiled := make([]sim.Duration, len(tiers))
 	for i, t := range tiers {
+		profiled[i] = sim.Duration(tails[i])
 		t.Budget = sim.Duration(usable * tails[i] / total)
-		if t.Budget <= sim.Duration(tails[i]) {
-			return fmt.Errorf("cluster: tier %d (%s) budget %v below its own p95 service %v — end-to-end QoS infeasible",
-				i, t.App.Name(), t.Budget, sim.Duration(tails[i]))
+		if t.Budget <= profiled[i] {
+			return nil, fmt.Errorf("cluster: tier %d (%s) budget %v below its own p95 service %v — end-to-end QoS infeasible",
+				i, t.App.Name(), t.Budget, profiled[i])
 		}
 	}
-	return nil
+	return profiled, nil
 }
 
 // NewPipeline builds the tiers' servers and ReTail runtimes, each managed
@@ -144,16 +156,27 @@ type budgetedApp struct {
 
 func (b budgetedApp) QoS() workload.QoS { return b.qos }
 
-// Submit injects an end-to-end request at the current time.
-func (p *Pipeline) Submit(e *sim.Engine, _ *workload.Request) {
+// Submit injects an end-to-end request at the current time. A non-nil r
+// is honored as the tier-0 request — its features and service demand are
+// what the front tier executes (the request should therefore come from
+// the front tier's application, e.g. a workload.Generator over
+// Tiers[0].App); its ID is rewritten to the pipeline's own sequence so
+// end-to-end tracking never collides. A nil r draws a fresh tier-0
+// request from the front tier's generator instead.
+func (p *Pipeline) Submit(e *sim.Engine, r *workload.Request) {
 	id := p.nextID
 	p.nextID++
 	p.inflight[id] = &flight{gen: e.Now(), tier: 0}
-	p.enter(e, id, 0)
+	if r == nil {
+		r = p.Tiers[0].App.Generate(p.rng)
+		r.Gen = e.Now()
+	}
+	r.ID = id
+	p.Tiers[0].srv.Submit(e, r)
 }
 
-// enter generates the tier-local request (each tier does its own work with
-// its own features) and submits it to the tier's server.
+// enter generates the tier-local request (each downstream tier does its
+// own work with its own features) and submits it to the tier's server.
 func (p *Pipeline) enter(e *sim.Engine, id uint64, tier int) {
 	t := p.Tiers[tier]
 	r := t.App.Generate(p.rng)

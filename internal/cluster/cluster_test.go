@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math/rand"
 	"testing"
 
 	"retail/internal/core"
@@ -14,8 +15,15 @@ func TestAllocateBudgetsProportional(t *testing.T) {
 		{App: workload.NewXapian(), Workers: 4}, // p95 svc ≈ 3.9ms
 		{App: workload.NewSilo(), Workers: 4},   // p95 svc ≈ 0.33ms
 	}
-	if err := AllocateBudgets(qos, tiers, 0.1, 1); err != nil {
+	profiled, err := AllocateBudgets(qos, tiers, 0.1, 0, 1)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(profiled) != len(tiers) {
+		t.Fatalf("profiled %d tails for %d tiers", len(profiled), len(tiers))
+	}
+	if profiled[0] <= profiled[1] {
+		t.Fatalf("xapian profiled tail %v not above silo's %v", profiled[0], profiled[1])
 	}
 	if tiers[0].Budget <= tiers[1].Budget {
 		t.Fatalf("slow tier got smaller budget: %v vs %v", tiers[0].Budget, tiers[1].Budget)
@@ -29,18 +37,111 @@ func TestAllocateBudgetsProportional(t *testing.T) {
 
 func TestAllocateBudgetsValidation(t *testing.T) {
 	qos := workload.QoS{Latency: 20e-3, Percentile: 99}
-	if err := AllocateBudgets(qos, nil, 0.1, 1); err == nil {
+	if _, err := AllocateBudgets(qos, nil, 0.1, 0, 1); err == nil {
 		t.Fatal("no tiers accepted")
 	}
 	tiers := []*Tier{{App: workload.NewXapian(), Workers: 2}}
-	if err := AllocateBudgets(qos, tiers, 1.5, 1); err == nil {
+	if _, err := AllocateBudgets(qos, tiers, 1.5, 0, 1); err == nil {
 		t.Fatal("margin ≥ 1 accepted")
 	}
 	// An infeasible end-to-end target (tighter than a tier's own p95
 	// service) must be rejected, not silently violated.
 	tight := workload.QoS{Latency: 2e-3, Percentile: 99}
-	if err := AllocateBudgets(tight, []*Tier{{App: workload.NewXapian(), Workers: 2}}, 0.1, 1); err == nil {
+	if _, err := AllocateBudgets(tight, []*Tier{{App: workload.NewXapian(), Workers: 2}}, 0.1, 0, 1); err == nil {
 		t.Fatal("infeasible end-to-end QoS accepted")
+	}
+}
+
+// TestAllocateBudgetsSampleCount pins the satellite contract: samples <= 0
+// selects the historical 2000-draw profile (bit-identical tails), and an
+// explicit sample count actually changes the profiling draw.
+func TestAllocateBudgetsSampleCount(t *testing.T) {
+	qos := workload.QoS{Latency: 20e-3, Percentile: 99}
+	mk := func() []*Tier {
+		return []*Tier{
+			{App: workload.NewXapian(), Workers: 4},
+			{App: workload.NewSilo(), Workers: 4},
+		}
+	}
+	def, err := AllocateBudgets(qos, mk(), 0.1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := AllocateBudgets(qos, mk(), 0.1, DefaultBudgetSamples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range def {
+		if def[i] != explicit[i] {
+			t.Fatalf("tier %d: default-sample tail %v != explicit 2000-sample tail %v", i, def[i], explicit[i])
+		}
+	}
+	small, err := AllocateBudgets(qos, mk(), 0.1, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range def {
+		if small[i] != def[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("a 50-sample profile produced the same tails as the 2000-sample one; the parameter is not wired through")
+	}
+}
+
+// TestPipelineSubmitHonorsCallerRequest pins the fixed Submit contract:
+// the request handed in by the caller (the load generator) is the one the
+// front tier executes — not a silently regenerated stand-in — and a nil
+// request still draws from the front tier's app.
+func TestPipelineSubmitHonorsCallerRequest(t *testing.T) {
+	qos := workload.QoS{Latency: 20e-3, Percentile: 99}
+	tiers := []*Tier{{App: workload.NewXapian(), Workers: 2}}
+	if _, err := AllocateBudgets(qos, tiers, 0.1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	pipe, err := NewPipeline(e, qos, tiers, core.DefaultPlatform(), 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executed []*workload.Request
+	inner := tiers[0].srv.CompletedSink
+	tiers[0].srv.CompletedSink = func(en *sim.Engine, r *workload.Request) {
+		executed = append(executed, r)
+		inner(en, r)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var submitted []*workload.Request
+	for i := 0; i < 5; i++ {
+		r := tiers[0].App.Generate(rng)
+		r.Gen = e.Now()
+		submitted = append(submitted, r)
+		pipe.Submit(e, r)
+	}
+	pipe.Submit(e, nil) // the nil path must still work
+	e.Run(5)            // bounded horizon: the manager keeps periodic events alive
+	if pipe.Completed() != 6 {
+		t.Fatalf("completed %d of 6", pipe.Completed())
+	}
+	if len(executed) != 6 {
+		t.Fatalf("front tier executed %d requests, want 6", len(executed))
+	}
+	ran := map[*workload.Request]bool{}
+	for _, r := range executed {
+		ran[r] = true
+	}
+	for i, want := range submitted {
+		if !ran[want] {
+			t.Fatalf("front tier never executed the caller's request %d (a stand-in ran instead)", i)
+		}
+	}
+	// IDs are rewritten onto the pipeline's own sequence, in submit order.
+	for i, r := range submitted {
+		if r.ID != uint64(i) {
+			t.Fatalf("submitted request %d carries pipeline ID %d", i, r.ID)
+		}
 	}
 }
 
@@ -62,7 +163,7 @@ func TestTwoTierPipelineMeetsEndToEndQoS(t *testing.T) {
 		{App: workload.NewXapian(), Workers: 4},
 		{App: workload.NewSilo(), Workers: 4},
 	}
-	if err := AllocateBudgets(qos, tiers, 0.1, 1); err != nil {
+	if _, err := AllocateBudgets(qos, tiers, 0.1, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	e := sim.NewEngine()

@@ -1,0 +1,345 @@
+// Fleet: the horizontal half of the paper's §VII-A deployment story. The
+// Pipeline in cluster.go models one request crossing tiers; a Fleet
+// models many identical nodes behind a load balancer, each node running
+// its own server and its own per-node DVFS policy ("ReTail can be
+// installed on every node in a datacenter"), with the cross-node routing
+// rule — the dispatcher — promoted to a first-class policy axis next to
+// the DVFS policy itself.
+//
+// Everything runs on one deterministic event engine: a node is not a
+// goroutine but a (server, manager) pair whose events interleave with
+// every other node's in (time, seq) order, so a fleet run is exactly
+// reproducible and placement decisions can be hashed into goldens.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"retail/internal/core"
+	"retail/internal/manager"
+	"retail/internal/nn"
+	"retail/internal/policy"
+	"retail/internal/server"
+	"retail/internal/sim"
+	"retail/internal/stats"
+	"retail/internal/telemetry"
+	"retail/internal/workload"
+)
+
+// FleetPolicies lists the per-node DVFS policies a fleet node can run:
+// the paper's manager (retail), its two headline baselines, and the
+// progress-threshold baseline.
+func FleetPolicies() []string { return []string{"retail", "rubik", "gemini", "eetl"} }
+
+// FleetConfig describes one fleet run.
+type FleetConfig struct {
+	// Cal is the shared read-only calibration for the application every
+	// node serves. For the gemini policy the network must already be
+	// trained (call Cal.GeminiModel once before fanning runs out in
+	// parallel); RunFleet trains it lazily otherwise.
+	Cal *core.Calibration
+	// Nodes is the fleet size; WorkersPerNode the per-node core count.
+	Nodes          int
+	WorkersPerNode int
+	// Policy names the per-node DVFS manager (see FleetPolicies).
+	Policy string
+	// Dispatcher names the cross-node routing rule
+	// (see policy.DispatcherNames).
+	Dispatcher string
+	// GeminiNN overrides Gemini's network structure (nil = published).
+	GeminiNN *nn.Config
+
+	// RPS is the fleet-wide offered load (split across nodes by the
+	// dispatcher, not evenly).
+	RPS      float64
+	Warmup   sim.Duration // excluded from all measurements
+	Duration sim.Duration // measurement window
+	Seed     int64
+
+	// Registry, when non-nil, receives per-node telemetry under the
+	// existing single-node metric families, keyed by a node=<i> label
+	// plus any extra Labels (e.g. dispatcher=…, policy=… per sweep cell).
+	Registry *telemetry.Registry
+	Labels   []telemetry.Label
+}
+
+// NodeStats is one node's share of a fleet run's measurement window.
+type NodeStats struct {
+	Node       int
+	Completed  int
+	Dropped    int
+	Violations int
+	P99        float64 // seconds; 0 when the node saw no completions
+	MeanLat    float64
+	EnergyJ    float64
+	AvgPowerW  float64
+	Residency  []int // completions per served frequency level
+}
+
+// MeanServedLevel returns the completion-weighted mean frequency level.
+func (n *NodeStats) MeanServedLevel() float64 {
+	total, sum := 0, 0.0
+	for lvl, c := range n.Residency {
+		total += c
+		sum += float64(lvl) * float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
+// FleetResult aggregates a fleet run.
+type FleetResult struct {
+	App        string
+	Dispatcher string
+	Policy     string
+	Nodes      int
+	RPS        float64
+
+	Completed  int
+	Dropped    int
+	Violations int
+
+	MeanLatency  float64
+	P50, P95     float64
+	P99          float64
+	TailAtQoSPct float64
+	QoSTarget    float64
+	QoSMet       bool
+
+	EnergyJ   float64
+	AvgPowerW float64
+	Residency []int // fleet-wide completions per served level
+
+	// PlacementHash is an FNV-1a hash over the dispatcher's placement
+	// stream (every routed node index in arrival order, warmup included).
+	// Two runs route identically iff their hashes match, which is how the
+	// goldens pin dispatcher determinism without storing millions of
+	// indices.
+	PlacementHash uint64
+	// Routed counts every routed request (warmup included) — the
+	// placement stream length behind PlacementHash.
+	Routed int
+	// ImbalanceCV is the coefficient of variation of per-node completion
+	// counts: 0 for a perfectly even spread, growing with routing skew.
+	ImbalanceCV float64
+
+	PerNode []NodeStats
+}
+
+// MeanServedLevel returns the fleet-wide completion-weighted mean level.
+func (r *FleetResult) MeanServedLevel() float64 {
+	n := NodeStats{Residency: r.Residency}
+	return n.MeanServedLevel()
+}
+
+// newNodeManager builds one node's DVFS manager from the shared
+// calibration. gemProto carries the trained network; per-node Gemini
+// instances share it but keep private controller state, the same cloning
+// pattern the Fig 11 sweep uses across cells.
+func newNodeManager(name string, cal *core.Calibration, gemProto *manager.Gemini) (manager.Manager, error) {
+	switch name {
+	case "retail":
+		return cal.NewReTail(), nil
+	case "rubik":
+		return cal.NewRubik(), nil
+	case "gemini":
+		if gemProto == nil {
+			return nil, fmt.Errorf("cluster: gemini policy needs a trained prototype")
+		}
+		return manager.NewGemini(cal.App.QoS(), cal.App.FeatureSpecs(), gemProto.Config()), nil
+	case "eetl":
+		return cal.NewEETL(), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown node policy %q (have %v)", name, FleetPolicies())
+	}
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashPlacement folds one routed node index into the FNV-1a stream hash.
+func hashPlacement(h uint64, node int) uint64 {
+	h ^= uint64(node)
+	return h * fnvPrime
+}
+
+// RunFleet executes one fleet simulation: cfg.Nodes nodes, each with its
+// own server and its own cfg.Policy manager, behind a cfg.Dispatcher
+// load balancer, driven at cfg.RPS for Warmup+Duration virtual seconds.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	if cfg.Cal == nil {
+		return nil, fmt.Errorf("cluster: FleetConfig needs a Calibration")
+	}
+	if cfg.Nodes <= 0 || cfg.WorkersPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: need positive Nodes and WorkersPerNode")
+	}
+	if cfg.RPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("cluster: need positive RPS and Duration")
+	}
+	disp, err := policy.NewDispatcher(cfg.Dispatcher, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var gemProto *manager.Gemini
+	if cfg.Policy == "gemini" {
+		gemProto, err = cfg.Cal.NewGemini(cfg.GeminiNN)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	app := cfg.Cal.App
+	qos := app.QoS()
+	platform := cfg.Cal.Platform.WithWorkers(cfg.WorkersPerNode)
+	e := sim.NewEngine()
+
+	type node struct {
+		srv  *server.Server
+		lat  *stats.LatencyTracker
+		st   NodeStats
+		ends sim.Time
+	}
+	nodes := make([]*node, cfg.Nodes)
+	outstanding := make([]int, cfg.Nodes) // O(1) load probe per node
+	measuring := false
+	fleetLat := stats.NewLatencyTracker(0, true)
+	levels := platform.Grid.Levels()
+
+	for i := range nodes {
+		n := &node{
+			lat: stats.NewLatencyTracker(0, true),
+			st:  NodeStats{Node: i, Residency: make([]int, levels)},
+		}
+		n.srv = server.New(server.Config{
+			App:     app,
+			Workers: cfg.WorkersPerNode,
+			Grid:    platform.Grid,
+			Power:   platform.Power,
+			Trans:   platform.Trans,
+			Seed:    server.RandomizedSeed(platform.Seed^cfg.Seed, int64(i)+1),
+		})
+		mgr, err := newNodeManager(cfg.Policy, cfg.Cal, gemProto)
+		if err != nil {
+			return nil, err
+		}
+		mgr.Attach(e, n.srv)
+		if cfg.Registry != nil {
+			labels := append(append([]telemetry.Label{},
+				cfg.Labels...), telemetry.L("node", strconv.Itoa(i)))
+			server.AttachTelemetryWith(n.srv, cfg.Registry, app.Name(), qos, labels...)
+		}
+		idx := i
+		n.srv.CompletedSink = func(en *sim.Engine, r *workload.Request) {
+			outstanding[idx]--
+			if !measuring {
+				return
+			}
+			soj := float64(r.Sojourn())
+			n.lat.Add(soj)
+			fleetLat.Add(soj)
+			n.st.Completed++
+			if soj > float64(qos.Latency) {
+				n.st.Violations++
+			}
+			if lvl := r.ServedLevel; lvl >= 0 && lvl < levels {
+				n.st.Residency[lvl]++
+			}
+		}
+		n.srv.DroppedSink = func(en *sim.Engine, r *workload.Request) {
+			outstanding[idx]--
+			if measuring {
+				n.st.Dropped++
+			}
+		}
+		nodes[i] = n
+	}
+
+	load := func(i int) int { return outstanding[i] }
+	hash := uint64(fnvOffset)
+	routed := 0
+	route := func(en *sim.Engine, r *workload.Request) {
+		i := disp.Pick(cfg.Nodes, load)
+		hash = hashPlacement(hash, i)
+		routed++
+		outstanding[i]++
+		nodes[i].srv.Submit(en, r)
+	}
+
+	gen := workload.NewGenerator(app, cfg.RPS, cfg.Seed, route)
+	gen.Start(e)
+	e.At(cfg.Warmup, "fleet.measure", func(en *sim.Engine) {
+		measuring = true
+		for _, n := range nodes {
+			n.srv.Socket.ResetEnergy(en.Now())
+		}
+	})
+	end := cfg.Warmup + cfg.Duration
+	e.Run(end)
+	gen.Stop()
+
+	res := &FleetResult{
+		App:           app.Name(),
+		Dispatcher:    disp.Name(),
+		Policy:        cfg.Policy,
+		Nodes:         cfg.Nodes,
+		RPS:           cfg.RPS,
+		QoSTarget:     float64(qos.Latency),
+		Residency:     make([]int, levels),
+		PlacementHash: hash,
+		Routed:        routed,
+	}
+	for _, n := range nodes {
+		n.st.EnergyJ = n.srv.Socket.EnergyJoules(end)
+		n.st.AvgPowerW = n.srv.Socket.AveragePowerW(end)
+		if n.lat.Count() > 0 {
+			if p, ok := n.lat.Percentile(99); ok {
+				n.st.P99 = p
+			}
+			n.st.MeanLat = n.lat.Mean()
+		}
+		res.Completed += n.st.Completed
+		res.Dropped += n.st.Dropped
+		res.Violations += n.st.Violations
+		res.EnergyJ += n.st.EnergyJ
+		res.AvgPowerW += n.st.AvgPowerW
+		for lvl, c := range n.st.Residency {
+			res.Residency[lvl] += c
+		}
+		res.PerNode = append(res.PerNode, n.st)
+	}
+	if fleetLat.Count() > 0 {
+		qs := fleetLat.Quantiles(0.50, 0.95, 0.99, qos.Percentile/100)
+		res.P50, res.P95, res.P99, res.TailAtQoSPct = qs[0], qs[1], qs[2], qs[3]
+		res.MeanLatency = fleetLat.Mean()
+		res.QoSMet = res.TailAtQoSPct <= res.QoSTarget
+	}
+	res.ImbalanceCV = completionCV(res.PerNode)
+	return res, nil
+}
+
+// completionCV returns stddev/mean of per-node completion counts.
+func completionCV(per []NodeStats) float64 {
+	if len(per) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, n := range per {
+		mean += float64(n.Completed)
+	}
+	mean /= float64(len(per))
+	if mean == 0 {
+		return 0
+	}
+	varsum := 0.0
+	for _, n := range per {
+		d := float64(n.Completed) - mean
+		varsum += d * d
+	}
+	return math.Sqrt(varsum/float64(len(per))) / mean
+}

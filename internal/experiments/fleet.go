@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"encoding/csv"
+
+	"retail/internal/cluster"
+	"retail/internal/core"
+	"retail/internal/policy"
+	"retail/internal/sim"
+	"retail/internal/workload"
+)
+
+// This file runs the fleet-scale routing×policy×load sweep (§VII-A taken
+// horizontal): every cell is one cluster.RunFleet — N nodes, each with
+// its own per-node DVFS policy, behind one cross-node dispatcher — and
+// the sweep exposes routing as a policy axis of equal rank with the DVFS
+// rule. The headline observation the golden pins: which dispatcher wins
+// the fleet tail depends on load and on the node policy underneath it,
+// i.e. routing flips the p99 winner.
+
+// FleetOptions sizes the cluster sweep.
+type FleetOptions struct {
+	// App is the application every node serves (default xapian).
+	App string
+	// Nodes and WorkersPerNode shape each cell's fleet.
+	Nodes          int
+	WorkersPerNode int
+	// Dispatchers (nil = policy.DispatcherNames()) and Policies (nil =
+	// cluster.FleetPolicies()) are the two swept axes besides load.
+	Dispatchers []string
+	Policies    []string
+	// Loads are fractions of the fleet's calibrated max (nil = cfg.Loads).
+	Loads []float64
+	// RequestsPerCell targets this many offered requests per cell; each
+	// cell's measured duration is RequestsPerCell/RPS (default 20000).
+	RequestsPerCell int
+	// BudgetSamples is forwarded to cluster.AllocateBudgets when a
+	// multi-tier budget report is requested (0 = the allocator default).
+	BudgetSamples int
+}
+
+func (o FleetOptions) withDefaults(cfg Config) FleetOptions {
+	if o.App == "" {
+		o.App = "xapian"
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 100
+	}
+	if o.WorkersPerNode <= 0 {
+		o.WorkersPerNode = 4
+	}
+	if o.Dispatchers == nil {
+		o.Dispatchers = policy.DispatcherNames()
+	}
+	if o.Policies == nil {
+		o.Policies = cluster.FleetPolicies()
+	}
+	if o.Loads == nil {
+		o.Loads = cfg.Loads
+	}
+	if o.RequestsPerCell <= 0 {
+		o.RequestsPerCell = 20000
+	}
+	return o
+}
+
+// FleetCell is one (load, dispatcher, policy) point of the sweep.
+type FleetCell struct {
+	Load       float64
+	Dispatcher string
+	Policy     string
+	Result     *cluster.FleetResult
+}
+
+// FleetWinner records which dispatcher won the fleet tail for one
+// (load, policy) pair — the routing-flips-the-winner evidence.
+type FleetWinner struct {
+	Load       float64
+	Policy     string
+	Dispatcher string
+	Tail       float64 // winning fleet tail at the QoS percentile
+}
+
+// FleetSweepResult holds the full routing×policy×load grid.
+type FleetSweepResult struct {
+	App            string
+	QoS            workload.QoS
+	Nodes          int
+	WorkersPerNode int
+	// MaxRPSPerNode is the calibrated 100%-load point of one node; fleet
+	// RPS at load f is f × Nodes × MaxRPSPerNode.
+	MaxRPSPerNode float64
+	Cells         []FleetCell
+	Winners       []FleetWinner
+}
+
+// FleetSweep runs the grid. Cells fan out through RunSweep under
+// cfg.Parallel, sharing one read-only calibration (the Gemini network is
+// trained before the fan-out, since its memoization is not
+// goroutine-safe); results merge in canonical order — load-major,
+// dispatcher, policy innermost — so output is byte-identical at every
+// parallelism setting.
+func FleetSweep(cfg Config, opt FleetOptions) (*FleetSweepResult, error) {
+	opt = opt.withDefaults(cfg)
+	app := workload.ByName(opt.App)
+	if app == nil {
+		return nil, fmt.Errorf("experiments: unknown app %q", opt.App)
+	}
+	platform := cfg.Platform.WithWorkers(opt.WorkersPerNode)
+	cal, err := core.Calibrate(app, platform, cfg.SamplesPerLevel, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, pol := range opt.Policies {
+		if pol == "gemini" {
+			if _, err := cal.GeminiModel(cfg.GeminiNN); err != nil {
+				return nil, err
+			}
+		}
+	}
+	maxPerNode := core.CalibrateMaxLoad(app, platform, cfg.Seed)
+
+	res := &FleetSweepResult{
+		App: app.Name(), QoS: app.QoS(),
+		Nodes: opt.Nodes, WorkersPerNode: opt.WorkersPerNode,
+		MaxRPSPerNode: maxPerNode,
+	}
+	var cells []SweepCell[*cluster.FleetResult]
+	for _, lf := range opt.Loads {
+		for _, d := range opt.Dispatchers {
+			for _, pol := range opt.Policies {
+				lf, d, pol := lf, d, pol
+				rps := maxPerNode * float64(opt.Nodes) * lf
+				dur := sim.Duration(float64(opt.RequestsPerCell) / rps)
+				cells = append(cells, SweepCell[*cluster.FleetResult]{
+					Label: fmt.Sprintf("fleet/%s/load=%.2f/%s/%s", app.Name(), lf, d, pol),
+					Run: func() (*cluster.FleetResult, error) {
+						return cluster.RunFleet(cluster.FleetConfig{
+							Cal: cal, Nodes: opt.Nodes, WorkersPerNode: opt.WorkersPerNode,
+							Policy: pol, Dispatcher: d, GeminiNN: cfg.GeminiNN,
+							RPS: rps, Warmup: dur / 5, Duration: dur,
+							Seed: cfg.Seed,
+						})
+					},
+				})
+			}
+		}
+	}
+	runs, err := RunSweep(cfg.Parallel, cells)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	idx := 0
+	for _, lf := range opt.Loads {
+		for _, d := range opt.Dispatchers {
+			for _, pol := range opt.Policies {
+				res.Cells = append(res.Cells, FleetCell{
+					Load: lf, Dispatcher: d, Policy: pol, Result: runs[idx],
+				})
+				idx++
+			}
+		}
+	}
+	res.Winners = fleetWinners(res.Cells)
+	return res, nil
+}
+
+// fleetWinners picks, for every (load, policy), the dispatcher with the
+// lowest fleet tail. Ties break toward the first dispatcher in sweep
+// order so the table is deterministic.
+func fleetWinners(cells []FleetCell) []FleetWinner {
+	type key struct {
+		load   float64
+		policy string
+	}
+	best := map[key]FleetWinner{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.Load, c.Policy}
+		w, seen := best[k]
+		if !seen {
+			order = append(order, k)
+		}
+		if !seen || c.Result.TailAtQoSPct < w.Tail {
+			best[k] = FleetWinner{Load: c.Load, Policy: c.Policy,
+				Dispatcher: c.Dispatcher, Tail: c.Result.TailAtQoSPct}
+		}
+	}
+	out := make([]FleetWinner, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Load != out[j].Load {
+			return out[i].Load < out[j].Load
+		}
+		return out[i].Policy < out[j].Policy
+	})
+	return out
+}
+
+// DistinctWinners returns how many different dispatchers appear in the
+// winners table — >1 is the routing-flips-the-winner result.
+func (r *FleetSweepResult) DistinctWinners() int {
+	set := map[string]bool{}
+	for _, w := range r.Winners {
+		set[w.Dispatcher] = true
+	}
+	return len(set)
+}
+
+// Render prints the full grid, then the winners summary.
+func (r *FleetSweepResult) Render() string {
+	t := &table{header: []string{"load", "dispatcher", "policy", "rps",
+		"completed", "dropped", "viol", "p50", "p99", "tail@QoS", "QoS",
+		"energy_J", "power_W", "imbalCV", "placement"}}
+	for _, c := range r.Cells {
+		fr := c.Result
+		met := "miss"
+		if fr.QoSMet {
+			met = "met"
+		}
+		t.add(f2(c.Load), c.Dispatcher, c.Policy, f2(fr.RPS),
+			strconv.Itoa(fr.Completed), strconv.Itoa(fr.Dropped),
+			strconv.Itoa(fr.Violations), dur(fr.P50), dur(fr.P99),
+			dur(fr.TailAtQoSPct), met, f2(fr.EnergyJ), f2(fr.AvgPowerW),
+			f3(fr.ImbalanceCV), fmt.Sprintf("%016x", fr.PlacementHash))
+	}
+	w := &table{header: []string{"load", "policy", "winning dispatcher", "tail@QoS"}}
+	for _, win := range r.Winners {
+		w.add(f2(win.Load), win.Policy, win.Dispatcher, dur(win.Tail))
+	}
+	return fmt.Sprintf(
+		"Fleet sweep: %s on %d nodes × %d workers (QoS p%.0f ≤ %v, max %.0f RPS/node)\n\n%s\nFleet-tail winners by (load, policy) — %d distinct dispatchers win somewhere:\n\n%s",
+		r.App, r.Nodes, r.WorkersPerNode, r.QoS.Percentile, r.QoS.Latency,
+		r.MaxRPSPerNode, t, r.DistinctWinners(), w)
+}
+
+// CSV emits the raw grid for external plotting.
+func (r *FleetSweepResult) CSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	rows := [][]string{{"load", "dispatcher", "policy", "rps", "completed",
+		"dropped", "violations", "p50_s", "p95_s", "p99_s", "tail_at_qos_s",
+		"qos_met", "energy_j", "avg_power_w", "imbalance_cv", "placement_hash"}}
+	for _, c := range r.Cells {
+		fr := c.Result
+		rows = append(rows, []string{
+			ftoa(c.Load), c.Dispatcher, c.Policy, ftoa(fr.RPS),
+			strconv.Itoa(fr.Completed), strconv.Itoa(fr.Dropped),
+			strconv.Itoa(fr.Violations), ftoa(fr.P50), ftoa(fr.P95),
+			ftoa(fr.P99), ftoa(fr.TailAtQoSPct),
+			strconv.FormatBool(fr.QoSMet), ftoa(fr.EnergyJ),
+			ftoa(fr.AvgPowerW), ftoa(fr.ImbalanceCV),
+			fmt.Sprintf("%016x", fr.PlacementHash),
+		})
+	}
+	return writeAll(w, rows)
+}

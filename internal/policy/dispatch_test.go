@@ -1,0 +1,139 @@
+package policy
+
+import (
+	"testing"
+)
+
+// syntheticLoads replays a deterministic, churning load landscape: node
+// loads derive from a counter so every Pick sees a different (but
+// reproducible) snapshot, exercising the rules far from the all-zero
+// corner.
+func syntheticLoads(step, n int) func(int) int {
+	return func(i int) int {
+		return (step*7 + i*13) % 5
+	}
+}
+
+// TestDispatcherPlacementStreamsAreDeterministic is the cross-run half of
+// the dispatcher determinism contract: the same construction seed and the
+// same (n, load) sequence must yield identical placement streams.
+func TestDispatcherPlacementStreamsAreDeterministic(t *testing.T) {
+	const n, picks = 16, 2000
+	for _, name := range DispatcherNames() {
+		stream := func() []int {
+			d, err := NewDispatcher(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]int, picks)
+			for s := 0; s < picks; s++ {
+				idx := d.Pick(n, syntheticLoads(s, n))
+				if idx < 0 || idx >= n {
+					t.Fatalf("%s: pick %d out of range [0,%d)", name, idx, n)
+				}
+				out[s] = idx
+			}
+			return out
+		}
+		a, b := stream(), stream()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: placement streams diverge at pick %d: %d vs %d", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRoundRobinDispatchCycles(t *testing.T) {
+	d := &RoundRobinDispatch{}
+	for i := 0; i < 10; i++ {
+		if got := d.Pick(4, nil); got != i%4 {
+			t.Fatalf("pick %d: got %d, want %d", i, got, i%4)
+		}
+	}
+	// Shrinking n mid-stream must not index out of range.
+	if got := d.Pick(2, nil); got < 0 || got >= 2 {
+		t.Fatalf("pick after shrink out of range: %d", got)
+	}
+}
+
+func TestLeastLoadedDispatchPicksMinimumLowestIndex(t *testing.T) {
+	d := LeastLoadedDispatch{}
+	loads := []int{3, 1, 1, 2}
+	if got := d.Pick(len(loads), func(i int) int { return loads[i] }); got != 1 {
+		t.Fatalf("got %d, want 1 (first minimum)", got)
+	}
+	// Repeated identical calls keep returning the same node: the static
+	// tie-break is the point of this variant.
+	if got := d.Pick(len(loads), func(i int) int { return loads[i] }); got != 1 {
+		t.Fatalf("static tie-break drifted: got %d, want 1", got)
+	}
+}
+
+func TestGlobalJSQDispatchRotatesTies(t *testing.T) {
+	d := &GlobalJSQDispatch{}
+	all := map[int]bool{}
+	zero := func(int) int { return 0 }
+	for i := 0; i < 4; i++ {
+		all[d.Pick(4, zero)] = true
+	}
+	if len(all) != 4 {
+		t.Fatalf("rotating tie-break visited %d of 4 tied nodes", len(all))
+	}
+}
+
+func TestPowerOfTwoDispatchPicksLessLoadedOfItsPair(t *testing.T) {
+	// With one node massively loaded and the rest empty, power-of-two must
+	// route to the loaded node far less than 1/n of the time (only when
+	// both samples land on it, which for distinct samples is never).
+	d := NewPowerOfTwoDispatch(7)
+	loads := []int{100, 0, 0, 0, 0, 0, 0, 0}
+	hot := 0
+	const picks = 4000
+	for i := 0; i < picks; i++ {
+		if d.Pick(len(loads), func(i int) int { return loads[i] }) == 0 {
+			hot++
+		}
+	}
+	if hot != 0 {
+		t.Fatalf("power-of-two routed %d/%d picks to the overloaded node; distinct sampling should avoid it entirely", hot, picks)
+	}
+	// And it actually spreads: every empty node should receive traffic.
+	seen := map[int]bool{}
+	for i := 0; i < picks; i++ {
+		seen[d.Pick(len(loads), func(i int) int { return loads[i] })] = true
+	}
+	if len(seen) < len(loads)-1 {
+		t.Fatalf("power-of-two reached only %d of %d uncontended nodes", len(seen), len(loads)-1)
+	}
+}
+
+func TestPowerOfTwoDispatchSeedChangesStream(t *testing.T) {
+	n := 8
+	a, b := NewPowerOfTwoDispatch(1), NewPowerOfTwoDispatch(2)
+	same := true
+	for s := 0; s < 64; s++ {
+		if a.Pick(n, syntheticLoads(s, n)) != b.Pick(n, syntheticLoads(s, n)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-pick streams")
+	}
+}
+
+func TestNewDispatcherRejectsUnknownName(t *testing.T) {
+	if _, err := NewDispatcher("route-randomly", 1); err == nil {
+		t.Fatal("unknown dispatcher name accepted")
+	}
+	for _, name := range DispatcherNames() {
+		d, err := NewDispatcher(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Name() != name {
+			t.Fatalf("dispatcher %q reports name %q", name, d.Name())
+		}
+	}
+}

@@ -63,31 +63,40 @@ type TelemetryHooks struct {
 // given app label. It returns the adapter so callers can inspect the
 // instruments directly.
 func AttachTelemetry(s *Server, reg *telemetry.Registry, app string, qos workload.QoS) *TelemetryHooks {
+	return AttachTelemetryWith(s, reg, app, qos)
+}
+
+// AttachTelemetryWith is AttachTelemetry with extra labels on every
+// series — the cluster layer uses it to key one server's metrics per
+// node (node=…, and per sweep cell dispatcher=…/policy=…) while staying
+// inside the same metric families a single-node run exposes.
+func AttachTelemetryWith(s *Server, reg *telemetry.Registry, app string, qos workload.QoS, extra ...telemetry.Label) *TelemetryHooks {
 	grid := s.Socket.Cores[0].Grid()
-	appLabel := telemetry.L("app", app)
+	labels := append([]telemetry.Label{telemetry.L("app", app)}, extra...)
 	th := &TelemetryHooks{
 		inner: s.Hooks,
 		srv:   s,
 		qos:   qos,
 		completed: reg.Counter(MetricRequestsTotal,
-			"Requests completed.", appLabel),
+			"Requests completed.", labels...),
 		dropped: reg.Counter(MetricDroppedTotal,
-			"Requests shed on arrival (load shedding).", appLabel),
+			"Requests shed on arrival (load shedding).", labels...),
 		violations: reg.Counter(MetricViolationsTotal,
-			"Completions whose sojourn exceeded the QoS target.", appLabel),
+			"Completions whose sojourn exceeded the QoS target.", labels...),
 		sojourn: reg.Histogram(MetricSojournSeconds,
-			"End-to-end request latency (t3-t1), the quantity QoS constrains.", appLabel),
+			"End-to-end request latency (t3-t1), the quantity QoS constrains.", labels...),
 		service: reg.Histogram(MetricServiceSeconds,
-			"Request service time (end-start).", appLabel),
+			"Request service time (end-start).", labels...),
 		slack: reg.Histogram(MetricSlackSeconds,
-			"Latency headroom to the QoS target, clamped at zero.", appLabel),
+			"Latency headroom to the QoS target, clamped at zero.", labels...),
 		queueDepth: reg.Gauge(MetricQueueDepth,
-			"Requests waiting (not running) across all workers.", appLabel),
+			"Requests waiting (not running) across all workers.", labels...),
 	}
 	for lvl := 0; lvl < grid.Levels(); lvl++ {
+		lvlLabels := append(append([]telemetry.Label{}, labels...),
+			telemetry.L("level", strconv.Itoa(lvl)))
 		th.residency = append(th.residency, reg.Counter(MetricFreqResidency,
-			"Completions per served frequency level.",
-			appLabel, telemetry.L("level", strconv.Itoa(lvl))))
+			"Completions per served frequency level.", lvlLabels...))
 	}
 	s.Hooks = th
 	return th

@@ -37,6 +37,12 @@ var smokeTargets = []struct {
 	{"./cmd/retail-chaos", []string{
 		"-plan", "overload-burst", "-seconds", "4", "-scale", "0.25", "-samples", "200",
 	}},
+	// A two-dispatcher, one-policy fleet sweep at quick scale: the whole
+	// cluster layer (routing, per-node managers, sweep merge) end-to-end.
+	{"./cmd/retail-cluster", []string{
+		"-quick", "-loads", "0.5", "-policies", "retail",
+		"-dispatchers", "round-robin,global-jsq", "-requests", "1200",
+	}},
 }
 
 func TestSmoke(t *testing.T) {
