@@ -5,8 +5,11 @@
 #   make race    full suite under the race detector
 #   make vet     static analysis
 #   make bench   telemetry hot-path + paper-table benchmarks
-#   make bench-check     hot-path micro-benchmarks once under -race (CI smoke)
-#   make bench-baseline  regenerate results/BENCH_sweep.json via cmd/benchjson
+#   make bench-check     hot-path micro-benchmarks once under -race (CI
+#                        smoke) + BenchmarkClusterFleet timed and gated
+#                        against results/BENCH_cluster.json
+#   make bench-baseline  regenerate results/BENCH_*.json via cmd/benchjson
+#                        and append to results/BENCH_history.jsonl
 #   make trace-check     fixed-seed Chrome trace vs committed golden bytes
 #   make trace-golden    rewrite the golden after an intentional format change
 #   make chaos-check     fault-injection suite: injector contracts, degradation
@@ -27,8 +30,15 @@ GO ?= go
 # The hot-path micro-benchmarks tracked across PRs: the event loop
 # (freelist), Algorithm 1 decisions (prediction memo), the sweep runner
 # and the fleet simulator. bench-check runs each exactly once under the
-# race detector — a correctness smoke, not a measurement; bench-baseline
-# produces the committed JSON trajectories from a real timed run.
+# race detector — a correctness smoke, not a measurement — and then
+# times BenchmarkClusterFleet for real and gates it against the
+# committed baseline. The gate tolerance (benchjson defaults: 3x on
+# ns/op, 1.25x on allocs/op) is deliberately loose on wall time —
+# cross-machine clocks and CPU governors add noise — but the PR-7
+# optimization was >2x on ns and >40x on allocs, so even the loose gate
+# catches a full relapse. bench-baseline produces the committed JSON
+# trajectories from a real timed run and appends each refresh to the
+# append-only results/BENCH_history.jsonl.
 HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep|Cluster)'
 HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments ./internal/cluster
 
@@ -52,10 +62,11 @@ bench:
 
 bench-check:
 	$(GO) test -race -run '^$$' -bench $(HOT_BENCH) -benchtime=1x $(HOT_PKGS)
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterFleet$$' -benchmem ./internal/cluster | $(GO) run ./cmd/benchjson -gate results/BENCH_cluster.json
 
 bench-baseline:
-	$(GO) test -run '^$$' -bench $(HOT_BENCH) -benchmem ./internal/sim ./internal/manager ./internal/experiments | $(GO) run ./cmd/benchjson > results/BENCH_sweep.json
-	$(GO) test -run '^$$' -bench 'BenchmarkCluster' -benchmem ./internal/cluster | $(GO) run ./cmd/benchjson > results/BENCH_cluster.json
+	$(GO) test -run '^$$' -bench $(HOT_BENCH) -benchmem ./internal/sim ./internal/manager ./internal/experiments | $(GO) run ./cmd/benchjson -history results/BENCH_history.jsonl > results/BENCH_sweep.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCluster' -benchmem ./internal/cluster | $(GO) run ./cmd/benchjson -history results/BENCH_history.jsonl > results/BENCH_cluster.json
 
 # The Chrome trace exporter's bytes are a contract (Perfetto tooling,
 # diffable artifacts): a fixed-seed simulation must serialize identically

@@ -5,25 +5,47 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > results/BENCH_sweep.json
+//	... | benchjson -history results/BENCH_history.jsonl > results/BENCH_sweep.json
+//	... | benchjson -gate results/BENCH_cluster.json -tolerance 3
 //
 // The emitted document maps benchmark name → {ns_per_op, bytes_per_op,
-// allocs_per_op}. The trailing "-N" GOMAXPROCS suffix is stripped so the
-// same baseline compares across machines with different core counts;
-// everything else about the name (including sub-benchmark paths such as
-// "/parallel=8") is preserved. Benchmarks that appear multiple times
-// (e.g. -count > 1, or Go's "#01" disambiguation collapsing to the same
-// stripped name) keep the last observation.
+// allocs_per_op}, stamped with the machine (goos/goarch/cpu), the Go
+// toolchain version and the git commit, so a committed baseline says
+// where its numbers came from. The trailing "-N" GOMAXPROCS suffix is
+// stripped so the same baseline compares across machines with different
+// core counts; everything else about the name (including sub-benchmark
+// paths such as "/parallel=8") is preserved. Benchmarks that appear
+// multiple times (e.g. -count > 1, or Go's "#01" disambiguation
+// collapsing to the same stripped name) keep the last observation.
+//
+// -history FILE additionally appends the same document as one compact
+// JSON line (with a timestamp) to FILE, building an append-only
+// perf-trajectory log across baseline refreshes.
+//
+// -gate FILE switches to comparison mode: instead of emitting JSON, the
+// parsed run is checked against the baseline in FILE and the process
+// exits nonzero if any benchmark present in both regressed beyond the
+// tolerances — ns/op by more than -tolerance× (default 3, generous
+// because wall time is noisy across machines and CPU governors while
+// still catching an order-of-magnitude relapse) or allocs/op by more
+// than -alloc-tolerance× (default 1.25, tight because allocation counts
+// are deterministic).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // point is one benchmark's measurements. Bytes/allocs are -1 when the run
@@ -38,6 +60,9 @@ type baseline struct {
 	Goos       string           `json:"goos,omitempty"`
 	Goarch     string           `json:"goarch,omitempty"`
 	CPU        string           `json:"cpu,omitempty"`
+	GoVersion  string           `json:"go,omitempty"`
+	Commit     string           `json:"commit,omitempty"`
+	Time       string           `json:"time,omitempty"` // history lines only
 	Benchmarks map[string]point `json:"benchmarks"`
 }
 
@@ -46,21 +71,116 @@ type baseline struct {
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
+	var (
+		historyPath = flag.String("history", "", "append the document as one JSON line to this file")
+		gatePath    = flag.String("gate", "", "compare against this baseline instead of emitting JSON")
+		tolerance   = flag.Float64("tolerance", 3, "gate: max allowed ns/op ratio vs baseline")
+		allocTol    = flag.Float64("alloc-tolerance", 1.25, "gate: max allowed allocs/op ratio vs baseline")
+	)
+	flag.Parse()
+
 	out, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if len(out.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	out.GoVersion = runtime.Version()
+	out.Commit = gitCommit()
+
+	if *gatePath != "" {
+		if err := gate(out, *gatePath, *tolerance, *allocTol, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *historyPath != "" {
+		if err := appendHistory(out, *historyPath); err != nil {
+			fatal(err)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}
+
+// gitCommit best-effort resolves the working tree's HEAD; a baseline
+// generated outside a checkout simply omits the field.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendHistory adds the run as one compact timestamped JSON line —
+// append-only, so successive baseline refreshes build a trajectory.
+func appendHistory(b *baseline, path string) error {
+	line := *b
+	line.Time = time.Now().UTC().Format(time.RFC3339)
+	buf, err := json.Marshal(&line)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(buf, '\n')); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// gate compares the run against a committed baseline and fails on
+// regression beyond the tolerances. Only benchmarks present in both are
+// compared; the baseline's machine stamp is printed so a cross-machine
+// comparison is visible in the log.
+func gate(run *baseline, path string, tol, allocTol float64, w io.Writer) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	fmt.Fprintf(w, "gate vs %s (cpu %q, %s, commit %s)\n", path, base.CPU, base.GoVersion, base.Commit)
+	var failed, compared int
+	for _, name := range sortedNames(run) {
+		got, ok := run.Benchmarks[name]
+		ref, inBase := base.Benchmarks[name]
+		if !ok || !inBase {
+			continue
+		}
+		compared++
+		status := "ok"
+		if ref.NsPerOp > 0 && got.NsPerOp > ref.NsPerOp*tol {
+			status = fmt.Sprintf("FAIL ns/op %.0f > %.1fx baseline %.0f", got.NsPerOp, tol, ref.NsPerOp)
+			failed++
+		} else if ref.AllocsPerOp >= 0 && got.AllocsPerOp > ref.AllocsPerOp*allocTol {
+			status = fmt.Sprintf("FAIL allocs/op %.0f > %.2fx baseline %.0f", got.AllocsPerOp, allocTol, ref.AllocsPerOp)
+			failed++
+		}
+		fmt.Fprintf(w, "  %-40s %12.0f ns/op %8.0f allocs/op  [%s]\n", name, got.NsPerOp, got.AllocsPerOp, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks in common with %s", path)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed past tolerance", failed, compared)
+	}
+	return nil
 }
 
 func parse(sc *bufio.Scanner) (*baseline, error) {
@@ -112,7 +232,8 @@ func parse(sc *bufio.Scanner) (*baseline, error) {
 }
 
 // sortedNames lists the parsed benchmark names in lexical order (JSON
-// maps already marshal with sorted keys; this is for diagnostics/tests).
+// maps already marshal with sorted keys; this is for stable gate output
+// and tests).
 func sortedNames(b *baseline) []string {
 	names := make([]string, 0, len(b.Benchmarks))
 	for n := range b.Benchmarks {

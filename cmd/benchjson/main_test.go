@@ -2,6 +2,10 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -53,5 +57,76 @@ func TestParse(t *testing.T) {
 	nm := b.Benchmarks["BenchmarkNoMem"]
 	if nm.NsPerOp != 1000 || nm.BytesPerOp != -1 || nm.AllocsPerOp != -1 {
 		t.Fatalf("nomem = %+v", nm)
+	}
+}
+
+func TestGate(t *testing.T) {
+	mk := func(ns, allocs float64) *baseline {
+		return &baseline{Benchmarks: map[string]point{
+			"BenchmarkClusterFleet": {NsPerOp: ns, BytesPerOp: 0, AllocsPerOp: allocs},
+			"BenchmarkRunOnly":      {NsPerOp: 1, AllocsPerOp: 0},
+		}}
+	}
+	dir := t.TempDir()
+	write := func(b *baseline) string {
+		buf, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "base.json")
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write(&baseline{Benchmarks: map[string]point{
+		"BenchmarkClusterFleet": {NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 100},
+	}})
+
+	// Within tolerance: 2.9x ns (< 3x), allocs equal.
+	if err := gate(mk(2900, 100), base, 3, 1.25, io.Discard); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+	// ns regression past 3x.
+	if err := gate(mk(3100, 100), base, 3, 1.25, io.Discard); err == nil {
+		t.Fatal("3.1x ns/op passed a 3x gate")
+	}
+	// allocs regression past 1.25x even with fine ns.
+	if err := gate(mk(1000, 130), base, 3, 1.25, io.Discard); err == nil {
+		t.Fatal("1.3x allocs/op passed a 1.25x gate")
+	}
+	// Nothing in common is an error, not a silent pass.
+	empty := write(&baseline{Benchmarks: map[string]point{"Other": {NsPerOp: 1}}})
+	if err := gate(mk(1, 0), empty, 3, 1.25, io.Discard); err == nil {
+		t.Fatal("disjoint baselines passed the gate")
+	}
+}
+
+func TestAppendHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	b := &baseline{Goos: "linux", Benchmarks: map[string]point{"B": {NsPerOp: 7}}}
+	if err := appendHistory(b, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(b, path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(buf)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("history lines = %d, want 2 (append-only)", len(lines))
+	}
+	var got baseline
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Time == "" || got.Benchmarks["B"].NsPerOp != 7 {
+		t.Fatalf("history line = %+v", got)
+	}
+	if b.Time != "" {
+		t.Fatal("appendHistory mutated the caller's document")
 	}
 }

@@ -39,8 +39,9 @@ import (
 func main() {
 	var (
 		appName     = flag.String("app", "xapian", "application model")
-		rps         = flag.Float64("rps", 150, "client request rate")
-		duration    = flag.Duration("duration", 5*time.Second, "load duration")
+		rps         = flag.Float64("rps", 150, "built-in client request rate (0 = serve-only, for an external generator such as retail-loadgen)")
+		listen      = flag.String("listen", "127.0.0.1:0", "server listen address")
+		duration    = flag.Duration("duration", 5*time.Second, "load (or serve-only) duration")
 		workers     = flag.Int("workers", 2, "worker goroutines")
 		scale       = flag.Float64("scale", 0.2, "time compression for the demo executor")
 		sysfs       = flag.Bool("sysfs", false, "drive real cpufreq files instead of the mock")
@@ -102,7 +103,7 @@ func main() {
 		reg = telemetry.NewRegistry()
 	}
 	srv, err := live.NewServer(live.ServerConfig{
-		Addr:         "127.0.0.1:0",
+		Addr:         *listen,
 		Workers:      *workers,
 		QoS:          app.QoS(),
 		Predictor:    scaled{cal.Model, *scale},
@@ -118,6 +119,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Establish the documented initial condition — every worker core at
+	// max frequency — in one batched backend pass (a BatchBackend
+	// coalesces it; others fall back to per-core writes).
+	initial := make([]live.LevelWrite, *workers)
+	for i := range initial {
+		initial[i] = live.LevelWrite{Core: i, Level: grid.MaxLevel()}
+	}
+	if err := live.ApplyLevels(backend, initial); err != nil {
+		log.Printf("initial DVFS pass: %v (continuing; runtime reconciles per write)", err)
+	}
+
 	srv.Start()
 	defer srv.Close()
 	if reg != nil {
@@ -133,6 +145,19 @@ func main() {
 		}
 		defer ms.Close()
 		log.Printf("metrics on http://%s/metrics (health: /healthz, trace: /debug/trace, profiles: /debug/pprof/)", ms.Addr())
+	}
+	if *rps == 0 {
+		// Serve-only: no built-in client — an external generator (e.g.
+		// retail-loadgen) drives the runtime over the wire.
+		log.Printf("serving on %s (policy %s) for %v — drive it with: retail-loadgen -addr %s -app %s",
+			srv.Addr(), srv.Policy(), *duration, srv.Addr(), app.Name())
+		time.Sleep(*duration)
+		fmt.Printf(`policy      %s
+decisions   %d frequency decisions, %d DVFS writes, %d coalesced
+qos'        %v (target %v × scale %.2f)
+`, srv.Policy(), srv.Decisions(), mock.Writes(), srv.DegradeCounts().DVFSCoalesced,
+			srv.QoSPrime(), time.Duration(float64(app.QoS().Latency)*1e9), *scale)
+		return
 	}
 	log.Printf("serving on %s (policy %s); loading at %.0f RPS for %v", srv.Addr(), srv.Policy(), *rps, *duration)
 
@@ -151,10 +176,10 @@ func main() {
 sent        %d
 completed   %d
 latency     p50 %v   p95 %v   p99 %v   mean %v
-decisions   %d frequency decisions, %d DVFS writes
+decisions   %d frequency decisions, %d DVFS writes, %d coalesced
 qos'        %v (target %v × scale %.2f)
 `, srv.Policy(), res.Sent, res.Completed, res.P50, res.P95, res.P99, res.Mean,
-		srv.Decisions(), mock.Writes(), srv.QoSPrime(),
+		srv.Decisions(), mock.Writes(), srv.DegradeCounts().DVFSCoalesced, srv.QoSPrime(),
 		time.Duration(float64(app.QoS().Latency)*1e9), *scale)
 	if inj != nil {
 		deg := srv.DegradeCounts()
@@ -179,8 +204,8 @@ func validateFlags(app workload.App, appName string, rps float64, duration time.
 	default:
 		return nil, fmt.Errorf("unknown -policy %q (want retail, rubik, gemini or eetl)", policy)
 	}
-	if rps <= 0 {
-		return nil, fmt.Errorf("-rps must be positive, got %g", rps)
+	if rps < 0 {
+		return nil, fmt.Errorf("-rps must be non-negative (0 = serve-only), got %g", rps)
 	}
 	if duration <= 0 {
 		return nil, fmt.Errorf("-duration must be positive, got %v", duration)

@@ -37,7 +37,8 @@ func TestValidateFlags(t *testing.T) {
 		{"empty policy defaults", func() ([]int, error) {
 			return validateFlags(app, "xapian", 150, time.Second, 2, 0.2, false, "", "")
 		}, "", nil},
-		{"zero rps", func() ([]int, error) { return ok(0, time.Second, 2, 0.2, false, "") }, "-rps", nil},
+		{"zero rps is serve-only", func() ([]int, error) { return ok(0, time.Second, 2, 0.2, false, "") }, "", nil},
+		{"negative rps", func() ([]int, error) { return ok(-1, time.Second, 2, 0.2, false, "") }, "-rps", nil},
 		{"negative duration", func() ([]int, error) { return ok(150, -time.Second, 2, 0.2, false, "") }, "-duration", nil},
 		{"zero workers", func() ([]int, error) { return ok(150, time.Second, 0, 0.2, false, "") }, "-workers", nil},
 		{"zero scale", func() ([]int, error) { return ok(150, time.Second, 2, 0, false, "") }, "-scale", nil},

@@ -1,0 +1,96 @@
+// retail-loadgen drives an open-loop Poisson load at a retail-live
+// server and prints an HDR latency report. Unlike the closed-loop client
+// built into retail-live, the generator never waits for responses before
+// sending the next request, so server-side queueing shows up in the
+// measured tail instead of silently throttling the offered rate
+// (coordinated omission).
+//
+// Usage:
+//
+//	retail-loadgen -addr 127.0.0.1:7077 -app xapian -rps 200 -duration 10s
+//	retail-loadgen -selfhost -rps 140000 -conns 12    # loopback saturation demo
+//
+// -selfhost starts an in-process server with a no-op executor and
+// head-only decisions, making the transport — not the policy or the
+// (absent) work — the measured path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"retail/internal/cpu"
+	"retail/internal/live"
+	"retail/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		addr     = flag.String("addr", "", "server address (omit with -selfhost)")
+		appName  = flag.String("app", "xapian", "application model supplying the feature distribution")
+		rps      = flag.Float64("rps", 1000, "aggregate offered request rate")
+		conns    = flag.Int("conns", 8, "client connections (rate splits evenly)")
+		duration = flag.Duration("duration", 5*time.Second, "send window")
+		drain    = flag.Duration("drain", 2*time.Second, "wait for in-flight responses after the window")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		selfhost = flag.Bool("selfhost", false, "start an in-process no-op server and load it over loopback")
+	)
+	flag.Parse()
+
+	app := workload.ByName(*appName)
+	if app == nil {
+		log.Printf("unknown -app %q (try xapian, moses, …)", *appName)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	target := *addr
+	if *selfhost {
+		grid := cpu.DefaultGrid()
+		srv, err := live.NewServer(live.ServerConfig{
+			Addr:      "127.0.0.1:0",
+			Workers:   runtime.NumCPU(),
+			QoS:       app.QoS(),
+			Predictor: flatPredictor(1e-6),
+			Backend:   live.NewMockBackend(grid),
+			Exec:      func(live.Request, cpu.Level) {},
+			HeadOnly:  true,
+			AppName:   app.Name(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.Start()
+		defer srv.Close()
+		target = srv.Addr()
+		log.Printf("selfhost server on %s (%d workers, no-op executor)", target, runtime.NumCPU())
+	}
+	if target == "" {
+		log.Print("need -addr or -selfhost")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	log.Printf("open-loop %s: %.0f RPS over %d conns for %v", app.Name(), *rps, *conns, *duration)
+	res, err := live.RunLoad(live.LoadConfig{
+		Addr: target, App: app,
+		RPS: *rps, Conns: *conns, Duration: *duration,
+		Seed: *seed, DrainTimeout: *drain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Report())
+}
+
+// flatPredictor is the selfhost stand-in for a trained model: a constant
+// tiny service time, so decisions always land on the lowest level and
+// the DVFS write coalescer elides every backend call after the first.
+type flatPredictor float64
+
+func (p flatPredictor) Predict(lvl cpu.Level, f []float64) float64 { return float64(p) }

@@ -207,8 +207,18 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	}
 	nodes := make([]*node, cfg.Nodes)
 	outstanding := make([]int, cfg.Nodes) // O(1) load probe per node
+	// Requests are pooled: the fleet's sinks are the end of every
+	// request's life (managers release their per-request state in their
+	// Complete hooks, which run first), so retired nodes recycle through
+	// the generator instead of churning the allocator. Identical values
+	// either way — only allocation counts change.
+	pool := &workload.RequestPool{}
 	measuring := false
 	fleetLat := stats.NewLatencyTracker(0, true)
+	// Expected completions during the measured window; presizing the
+	// keepAll buffers spares their append-doubling reallocations.
+	expect := int(cfg.RPS*float64(cfg.Duration)) + 64
+	fleetLat.ReserveAll(expect)
 	levels := platform.Grid.Levels()
 
 	for i := range nodes {
@@ -216,6 +226,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 			lat: stats.NewLatencyTracker(0, true),
 			st:  NodeStats{Node: i, Residency: make([]int, levels)},
 		}
+		n.lat.ReserveAll(expect/cfg.Nodes + expect/(4*cfg.Nodes) + 64)
 		n.srv = server.New(server.Config{
 			App:     app,
 			Workers: cfg.WorkersPerNode,
@@ -237,25 +248,26 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		idx := i
 		n.srv.CompletedSink = func(en *sim.Engine, r *workload.Request) {
 			outstanding[idx]--
-			if !measuring {
-				return
+			if measuring {
+				soj := float64(r.Sojourn())
+				n.lat.Add(soj)
+				fleetLat.Add(soj)
+				n.st.Completed++
+				if soj > float64(qos.Latency) {
+					n.st.Violations++
+				}
+				if lvl := r.ServedLevel; lvl >= 0 && lvl < levels {
+					n.st.Residency[lvl]++
+				}
 			}
-			soj := float64(r.Sojourn())
-			n.lat.Add(soj)
-			fleetLat.Add(soj)
-			n.st.Completed++
-			if soj > float64(qos.Latency) {
-				n.st.Violations++
-			}
-			if lvl := r.ServedLevel; lvl >= 0 && lvl < levels {
-				n.st.Residency[lvl]++
-			}
+			pool.Put(r)
 		}
 		n.srv.DroppedSink = func(en *sim.Engine, r *workload.Request) {
 			outstanding[idx]--
 			if measuring {
 				n.st.Dropped++
 			}
+			pool.Put(r)
 		}
 		nodes[i] = n
 	}
@@ -272,6 +284,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	}
 
 	gen := workload.NewGenerator(app, cfg.RPS, cfg.Seed, route)
+	gen.Pool = pool
 	gen.Start(e)
 	e.At(cfg.Warmup, "fleet.measure", func(en *sim.Engine) {
 		measuring = true

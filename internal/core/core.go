@@ -93,10 +93,23 @@ func Calibrate(app workload.App, p Platform, samplesPerLevel int, seed int64) (*
 	set := predict.NewTrainingSet(samplesPerLevel)
 	cal := &Calibration{App: app, Platform: p, Training: set}
 	ds := features.Dataset{Specs: app.FeatureSpecs()}
+	// Non-max levels only feed TrainingSet.Add, which copies Features, so
+	// one scratch request can host every draw there. The max level's
+	// requests are retained below (ds.X, profileFeatures) and must stay
+	// freshly allocated. GenerateInto consumes the RNG identically to
+	// Generate, so the calibration draw is unchanged either way.
+	ip, hasIP := app.(workload.InPlaceGenerator)
+	var scratch workload.Request
 	for lvl := cpu.Level(0); int(lvl) < p.Grid.Levels(); lvl++ {
 		f := p.Grid.Freq(lvl)
 		for i := 0; i < samplesPerLevel; i++ {
-			r := app.Generate(rng)
+			var r *workload.Request
+			if hasIP && lvl != p.Grid.MaxLevel() {
+				ip.GenerateInto(&scratch, rng)
+				r = &scratch
+			} else {
+				r = app.Generate(rng)
+			}
 			svc := float64(r.ServiceAt(f, p.Grid.MaxFreq(), 1))
 			set.Add(predict.Sample{Level: lvl, Features: r.Features, Service: svc})
 			if lvl == p.Grid.MaxLevel() {

@@ -201,15 +201,21 @@ type Core struct {
 	lastUpdate  sim.Time
 	energyJ     float64
 	transitions int
+	writes      int // SetLevel/SetLevelImmediate requests, incl. coalesced ones
 	// OnChange, when set, fires after a new frequency takes effect.
 	OnChange func(e *sim.Engine, effective Level)
+
+	// transFn is the core's transition callback, bound once at
+	// construction so SetLevel schedules without allocating a closure
+	// per DVFS write (managers write frequencies on every request).
+	transFn func(e *sim.Engine, arg any)
 }
 
 // NewCore returns a core starting at the maximum frequency (the paper's
 // default: requests run at max frequency until a manager decides
 // otherwise), idle, with zero accumulated energy.
 func NewCore(id int, g *Grid, model PowerModel, trans TransitionModel, rng *rand.Rand) *Core {
-	return &Core{
+	c := &Core{
 		ID:        id,
 		grid:      g,
 		model:     model,
@@ -218,6 +224,16 @@ func NewCore(id int, g *Grid, model PowerModel, trans TransitionModel, rng *rand
 		effective: g.MaxLevel(),
 		target:    g.MaxLevel(),
 	}
+	c.transFn = func(en *sim.Engine, _ any) {
+		c.pending = sim.EventRef{}
+		c.advance(en.Now())
+		c.effective = c.target
+		c.transitions++
+		if c.OnChange != nil {
+			c.OnChange(en, c.effective)
+		}
+	}
+	return c
 }
 
 // Grid returns the core's frequency grid.
@@ -234,6 +250,15 @@ func (c *Core) TargetLevel() Level { return c.target }
 
 // Transitions returns how many frequency changes have taken effect.
 func (c *Core) Transitions() int { return c.transitions }
+
+// DVFSWrites returns how many frequency writes the core has received.
+// Writes minus transitions (minus at most one pending change) is the
+// coalescing dividend: requests elided because the core was already at —
+// or already heading to — the requested level, plus same-tick rewrites
+// that re-armed a pending transition instead of adding one. The live
+// SysfsBackend's batched SetLevels realizes the same semantics against
+// real cpufreq files.
+func (c *Core) DVFSWrites() int { return c.writes }
 
 // Busy reports whether the core is executing a request.
 func (c *Core) Busy() bool { return c.busy }
@@ -280,6 +305,7 @@ func (c *Core) SetMemStalled(e *sim.Engine, stalled bool) {
 // previous one.
 func (c *Core) SetLevel(e *sim.Engine, lvl Level) {
 	lvl = c.grid.Clamp(lvl)
+	c.writes++
 	if lvl == c.target && !c.pending.Valid() {
 		return
 	}
@@ -295,15 +321,7 @@ func (c *Core) SetLevel(e *sim.Engine, lvl Level) {
 		return
 	}
 	delay := c.trans.Sample(c.rng)
-	c.pending = e.After(delay, "cpu.transition", func(en *sim.Engine) {
-		c.pending = sim.EventRef{}
-		c.advance(en.Now())
-		c.effective = c.target
-		c.transitions++
-		if c.OnChange != nil {
-			c.OnChange(en, c.effective)
-		}
-	})
+	c.pending = e.AfterCall(delay, "cpu.transition", c.transFn, nil)
 }
 
 // SetLevelImmediate applies a level with no transition latency. Used for
@@ -311,6 +329,7 @@ func (c *Core) SetLevel(e *sim.Engine, lvl Level) {
 // rarely enough that the latency is irrelevant.
 func (c *Core) SetLevelImmediate(e *sim.Engine, lvl Level) {
 	lvl = c.grid.Clamp(lvl)
+	c.writes++
 	if c.pending.Valid() {
 		e.Cancel(c.pending)
 		c.pending = sim.EventRef{}
@@ -386,6 +405,16 @@ func (s *Socket) Transitions() int {
 	t := 0
 	for _, c := range s.Cores {
 		t += c.Transitions()
+	}
+	return t
+}
+
+// DVFSWrites sums frequency-write requests across cores; see
+// Core.DVFSWrites for the coalescing arithmetic.
+func (s *Socket) DVFSWrites() int {
+	t := 0
+	for _, c := range s.Cores {
+		t += c.DVFSWrites()
 	}
 	return t
 }

@@ -10,7 +10,6 @@ import (
 	"testing"
 )
 
-
 // quickFleetConfig keeps the sweep CI-sized: a 4-node fleet per cell, two
 // load points, all four dispatchers × all four node policies.
 func quickFleetConfig(seed int64) (Config, FleetOptions) {

@@ -33,6 +33,57 @@ type Backend interface {
 	Grid() *cpu.Grid
 }
 
+// LevelWrite is one core's requested frequency level within a batch.
+type LevelWrite struct {
+	Core  int
+	Level cpu.Level
+}
+
+// BatchBackend is implemented by backends that can apply a set of
+// frequency writes in one pass. SetLevels coalesces the batch before
+// touching hardware: the last write per core wins, and a core already
+// holding its requested level is skipped entirely — a sysfs backend pays
+// zero syscalls for it. Every remaining core is attempted even when an
+// earlier one fails; the returned error summarizes the failures.
+type BatchBackend interface {
+	Backend
+	SetLevels(writes []LevelWrite) error
+}
+
+// ApplyLevels drives a batch of frequency writes through any Backend:
+// one SetLevels pass when the backend supports batching, per-core
+// SetLevel calls (all attempted, first error kept) otherwise.
+func ApplyLevels(b Backend, writes []LevelWrite) error {
+	if bb, ok := b.(BatchBackend); ok {
+		return bb.SetLevels(writes)
+	}
+	var firstErr error
+	for _, w := range writes {
+		if err := b.SetLevel(w.Core, w.Level); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// coalesceWrites reduces a batch to at most one write per core,
+// preserving first-appearance order with the last requested level
+// winning — the same register-write semantics the simulator's
+// cpu.Core.SetLevel re-arm implements in virtual time.
+func coalesceWrites(writes []LevelWrite) []LevelWrite {
+	out := make([]LevelWrite, 0, len(writes))
+	pos := make(map[int]int, len(writes)) // core → index in out
+	for _, w := range writes {
+		if i, ok := pos[w.Core]; ok {
+			out[i].Level = w.Level
+			continue
+		}
+		pos[w.Core] = len(out)
+		out = append(out, w)
+	}
+	return out
+}
+
 // MockBackend records decisions; the demo executor consults it to scale
 // synthetic work. Safe for concurrent use.
 type MockBackend struct {
@@ -58,6 +109,25 @@ func (b *MockBackend) SetLevel(core int, lvl cpu.Level) error {
 	defer b.mu.Unlock()
 	b.levels[core] = b.grid.Clamp(lvl)
 	b.writes++
+	return nil
+}
+
+// SetLevels implements BatchBackend: the coalesced batch is applied
+// under one lock acquisition, and a core already recorded at its
+// requested level does not count as a write — mirroring the syscall the
+// sysfs backend would have skipped.
+func (b *MockBackend) SetLevels(writes []LevelWrite) error {
+	coalesced := coalesceWrites(writes)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, w := range coalesced {
+		lvl := b.grid.Clamp(w.Level)
+		if have, ok := b.levels[w.Core]; ok && have == lvl {
+			continue
+		}
+		b.levels[w.Core] = lvl
+		b.writes++
+	}
 	return nil
 }
 
@@ -151,6 +221,54 @@ func (b *SysfsBackend) SetLevel(core int, lvl cpu.Level) error {
 	return nil
 }
 
+// SetLevels implements BatchBackend: one pass over the coalesced batch.
+// A core whose last reconciled hardware level already matches the
+// request is skipped without touching sysfs — under a settled policy
+// most of a decision tick's writes coalesce away entirely. Each
+// remaining core gets exactly one write; a failure reconciles that core
+// (as SetLevel would) and the pass continues, so one sick core cannot
+// block frequency changes on its neighbors. The returned error carries
+// the failure count and the first underlying cause.
+func (b *SysfsBackend) SetLevels(writes []LevelWrite) error {
+	coalesced := coalesceWrites(writes)
+	// Filter against the reconciled hardware state under one lock; the
+	// file I/O below runs unlocked, like SetLevel's.
+	pending := coalesced[:0]
+	b.mu.Lock()
+	for _, w := range coalesced {
+		if w.Core < 0 || w.Core >= len(b.cores) {
+			b.mu.Unlock()
+			return fmt.Errorf("live: core index %d out of range", w.Core)
+		}
+		w.Level = b.grid.Clamp(w.Level)
+		if have, ok := b.known[w.Core]; ok && have == w.Level {
+			continue
+		}
+		pending = append(pending, w)
+	}
+	b.mu.Unlock()
+	var firstErr error
+	failed := 0
+	for _, w := range pending {
+		khz := strconv.Itoa(int(b.grid.Freq(w.Level) * 1e6))
+		if err := writeFull(b.setspeedPath(b.cores[w.Core]), khz); err != nil {
+			b.reconcile(w.Core)
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("live: cpufreq write cpu%d: %w", b.cores[w.Core], err)
+			}
+			continue
+		}
+		b.mu.Lock()
+		b.known[w.Core] = w.Level
+		b.mu.Unlock()
+	}
+	if firstErr != nil {
+		return fmt.Errorf("live: batch: %d of %d writes failed: %w", failed, len(pending), firstErr)
+	}
+	return nil
+}
+
 // writeFull writes s in one write call and treats a short write as an
 // error even when the kernel reports success, closing the partial-write
 // blind spot of os.WriteFile-style helpers.
@@ -234,6 +352,20 @@ func (b *FaultyBackend) Grid() *cpu.Grid { return b.inner.Grid() }
 // Unwrap returns the inner backend (tests reach through to assert
 // hardware state).
 func (b *FaultyBackend) Unwrap() Backend { return b.inner }
+
+// SetLevels implements BatchBackend: each coalesced write consults the
+// injector independently — a batch of N changes is N chances to fault,
+// exactly as N single writes would be — and the pass continues past
+// failures so injection on one core cannot shadow the rest of the batch.
+func (b *FaultyBackend) SetLevels(writes []LevelWrite) error {
+	var firstErr error
+	for _, w := range coalesceWrites(writes) {
+		if err := b.SetLevel(w.Core, w.Level); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
 
 // SetLevel implements Backend with injection.
 func (b *FaultyBackend) SetLevel(core int, lvl cpu.Level) error {

@@ -74,7 +74,8 @@ func newDecider(cfg ServerConfig, grid *cpu.Grid) (decider, error) {
 				Cap:        1.1,
 				Alpha:      1,
 			}),
-			grid: grid,
+			grid:     grid,
+			headOnly: cfg.HeadOnly,
 		}, nil
 	case "rubik":
 		if len(cfg.ProfileAtMax) == 0 {
@@ -111,14 +112,15 @@ func newDecider(cfg ServerConfig, grid *cpu.Grid) (decider, error) {
 // harness drives (ReplayDecisions), which is what proves the live
 // decision path equals the simulator's.
 type retailDecider struct {
-	mon  *policy.Monitor
-	grid *cpu.Grid
+	mon      *policy.Monitor
+	grid     *cpu.Grid
+	headOnly bool
 }
 
 func (d *retailDecider) Name() string { return "retail" }
 
 func (d *retailDecider) Decide(now float64, p policy.Pipeline) (cpu.Level, float64) {
-	lvl, _ := policy.Alg1(p, now, d.mon.QoSPrime(), d.grid.MaxLevel(), false)
+	lvl, _ := policy.Alg1(p, now, d.mon.QoSPrime(), d.grid.MaxLevel(), d.headOnly)
 	return lvl, p.Predict(lvl, 0)
 }
 

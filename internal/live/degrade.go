@@ -32,13 +32,22 @@ type DegradePolicy struct {
 	// dropped without executing — running it can only waste energy and
 	// delay requests that can still win.
 	DeadlineFactor float64
+	// DVFSWriteThrough disables the write coalescer: every decision
+	// drives the backend even when the runtime believes the hardware
+	// already holds the level. Chaos replays run write-through — a DVFS
+	// fault plan must see real write traffic to inject into, and a
+	// flaky-hardware scenario is exactly where "believes" stops being
+	// trustworthy. Production keeps coalescing: failures clear the
+	// known-level state, so real faults re-enable real writes anyway.
+	DVFSWriteThrough bool
 }
 
 // DefaultChaosPolicy returns the policy the chaos scenarios run under:
-// retries and fallback at their defaults, shedding at 1.5 × QoS′ and
-// deadline drops at 2 × QoS.
+// retries and fallback at their defaults, shedding at 1.5 × QoS′,
+// deadline drops at 2 × QoS, and DVFS write-through so fault plans see
+// every decision at the backend.
 func DefaultChaosPolicy() DegradePolicy {
-	return DegradePolicy{ShedFactor: 1.5, DeadlineFactor: 2}
+	return DegradePolicy{ShedFactor: 1.5, DeadlineFactor: 2, DVFSWriteThrough: true}
 }
 
 // normalize fills the retry defaults.
@@ -62,6 +71,7 @@ type DegradeCounts struct {
 	DVFSWriteErrors uint64 // failed write attempts (incl. failed retries)
 	DVFSRetries     uint64 // retry attempts after a failure
 	DVFSFallbacks   uint64 // retry budgets exhausted → pinned at max
+	DVFSCoalesced   uint64 // writes elided because the hardware already held the level
 	Shed            uint64 // arrivals refused by admission control
 	DeadlineDrops   uint64 // dequeued requests already past deadline
 }
@@ -72,6 +82,7 @@ type degradeState struct {
 	writeErrors atomic.Uint64
 	retries     atomic.Uint64
 	fallbacks   atomic.Uint64
+	coalesced   atomic.Uint64
 	shed        atomic.Uint64
 	deadline    atomic.Uint64
 }
@@ -81,6 +92,7 @@ func (d *degradeState) snapshot() DegradeCounts {
 		DVFSWriteErrors: d.writeErrors.Load(),
 		DVFSRetries:     d.retries.Load(),
 		DVFSFallbacks:   d.fallbacks.Load(),
+		DVFSCoalesced:   d.coalesced.Load(),
 		Shed:            d.shed.Load(),
 		DeadlineDrops:   d.deadline.Load(),
 	}
@@ -131,6 +143,21 @@ func (s *Server) AppliedLevel(worker int) (cpu.Level, bool) {
 // even the fallback failed) so the executor models the actual speed, not
 // the wish.
 func (s *Server) applyLevel(worker int, lvl cpu.Level) cpu.Level {
+	// Write coalescing: when the last successful write already put the
+	// hardware at lvl (and no fallback pin needs clearing), the backend
+	// pass is a provable no-op — skip it. Under a settled policy the
+	// common case is a re-decision of the standing level, so this turns
+	// most per-request DVFS work into a counter bump; any failure path
+	// clears `known`, which re-enables real writes until one succeeds.
+	if !s.policy.DVFSWriteThrough {
+		s.mu.Lock()
+		if a := s.applied[worker]; a.known && !a.pinned && a.lvl == lvl {
+			s.mu.Unlock()
+			s.deg.coalesced.Add(1)
+			return lvl
+		}
+		s.mu.Unlock()
+	}
 	pol := s.policy
 	backoff := pol.DVFSRetryBackoff
 	for attempt := 0; attempt <= pol.MaxDVFSRetries; attempt++ {

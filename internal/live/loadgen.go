@@ -1,0 +1,235 @@
+// Open-loop load generation. RunClient (client.go) is a closed-loop
+// client: each connection waits for a response before its next send, so
+// under server slowdown the offered load collapses — coordinated
+// omission. RunLoad is the open-loop complement the tail-latency
+// literature calls for: every connection sends on a Poisson schedule
+// regardless of outstanding responses (the server's per-connection MPSC
+// response path makes pipelining possible), and latency is measured from
+// the scheduled generation stamp, so queueing delay the server causes is
+// in the numbers, not hidden by the generator's own backpressure.
+package live
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retail/internal/stats"
+	"retail/internal/workload"
+)
+
+// LoadConfig drives RunLoad.
+type LoadConfig struct {
+	Addr string
+	// App supplies the feature distribution for generated requests.
+	App workload.App
+	// RPS is the aggregate offered rate, split evenly across Conns.
+	RPS      float64
+	Conns    int
+	Duration time.Duration
+	Seed     int64
+	// DrainTimeout bounds the wait for in-flight responses after the send
+	// window closes (0 = 2s). Responses missing when it expires count as
+	// Unanswered.
+	DrainTimeout time.Duration
+}
+
+// LoadResult aggregates one open-loop run.
+type LoadResult struct {
+	Sent       int
+	Completed  int
+	Dropped    int // shed or deadline-dropped by the server
+	Unanswered int // no response within the drain timeout
+	// Elapsed is the send-phase wall time (the slowest connection's).
+	Elapsed time.Duration
+	// OfferedRPS is the configured rate; SentRPS what the generator
+	// actually achieved (they diverge only when the generator itself
+	// cannot keep schedule, not when the server is slow).
+	OfferedRPS float64
+	SentRPS    float64
+	// Latency holds client-observed sojourn (response arrival − scheduled
+	// generation) in nanoseconds for completed requests only.
+	Latency stats.HDR
+}
+
+// Report formats the run as a compact HDR latency report.
+func (r *LoadResult) Report() string {
+	d := func(ns int64) time.Duration { return time.Duration(ns) }
+	return fmt.Sprintf(`sent        %d in %v (offered %.0f RPS, achieved %.0f RPS)
+completed   %d   dropped %d   unanswered %d
+latency     min %v  p50 %v  p90 %v  p99 %v  p99.9 %v  p99.99 %v  max %v`,
+		r.Sent, r.Elapsed.Round(time.Millisecond), r.OfferedRPS, r.SentRPS,
+		r.Completed, r.Dropped, r.Unanswered,
+		d(r.Latency.Min()), d(r.Latency.Quantile(0.50)), d(r.Latency.Quantile(0.90)),
+		d(r.Latency.Quantile(0.99)), d(r.Latency.Quantile(0.999)),
+		d(r.Latency.Quantile(0.9999)), d(r.Latency.Max()))
+}
+
+// connLoad is one connection's private tally, merged after the run.
+type connLoad struct {
+	sent, completed, dropped int
+	sendDur                  time.Duration
+	lat                      stats.HDR
+	err                      error
+}
+
+// RunLoad executes one open-loop run and blocks until the send window
+// plus drain completes.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("live: LoadConfig needs an App")
+	}
+	if cfg.RPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("live: LoadConfig needs positive RPS and Duration")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	drain := cfg.DrainTimeout
+	if drain <= 0 {
+		drain = 2 * time.Second
+	}
+	perConn := cfg.RPS / float64(cfg.Conns)
+
+	states := make([]*connLoad, cfg.Conns)
+	conns := make([]net.Conn, cfg.Conns)
+	for c := range conns {
+		conn, err := net.Dial("tcp", cfg.Addr)
+		if err != nil {
+			for _, open := range conns[:c] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("live: dial: %w", err)
+		}
+		conns[c] = conn
+		states[c] = &connLoad{}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := range conns {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			runConnLoad(conns[idx], states[idx], cfg.App, perConn,
+				cfg.Seed*131+int64(idx), uint64(idx), start, cfg.Duration, drain)
+		}(c)
+	}
+	wg.Wait()
+
+	res := &LoadResult{OfferedRPS: cfg.RPS}
+	for _, st := range states {
+		if st.err != nil {
+			return nil, st.err
+		}
+		res.Sent += st.sent
+		res.Completed += st.completed
+		res.Dropped += st.dropped
+		if st.sendDur > res.Elapsed {
+			res.Elapsed = st.sendDur
+		}
+		res.Latency.Merge(&st.lat)
+	}
+	res.Unanswered = res.Sent - res.Completed - res.Dropped
+	if res.Elapsed > 0 {
+		res.SentRPS = float64(res.Sent) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// runConnLoad drives one connection: a sender pacing the Poisson
+// schedule and a receiver recording latencies, concurrent so responses
+// drain while requests pipeline.
+func runConnLoad(conn net.Conn, st *connLoad, app workload.App, rps float64,
+	seed int64, connIdx uint64, start time.Time, window, drain time.Duration) {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Pre-generate a feature cycle: the send path must never stall on
+	// workload sampling, or generator overhead masquerades as latency.
+	const cycle = 512
+	feats := make([][]float64, cycle)
+	for i := range feats {
+		feats[i] = append([]float64(nil), app.Generate(rng).Features...)
+	}
+
+	// finalSent, once nonzero, tells the receiver how many responses to
+	// expect; answered is the shared tally both sides consult so the
+	// drain ends as soon as the last response lands (the rest of st is
+	// receiver-private until the recvDone join below).
+	var finalSent, answered atomic.Int64
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		dec := json.NewDecoder(conn)
+		for {
+			var resp Response
+			if err := dec.Decode(&resp); err != nil {
+				return // deadline, close, or peer gone ends the drain
+			}
+			if resp.Dropped {
+				st.dropped++
+			} else {
+				st.completed++
+				st.lat.Record(time.Now().UnixNano() - resp.GenNs)
+			}
+			if n, fs := answered.Add(1), finalSent.Load(); fs > 0 && n >= fs {
+				return
+			}
+		}
+	}()
+	// Tear-down in all paths: close the conn (unblocks a decode in
+	// flight), then join the receiver so the caller may read st safely.
+	defer func() { conn.Close(); <-recvDone }()
+
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	enc := json.NewEncoder(bw)
+	req := Request{}
+	deadline := start.Add(window)
+	next := start
+	var seq uint64
+	for {
+		// Absolute Poisson schedule: oversleep on one gap is repaid by
+		// sending immediately while behind, so the offered rate holds.
+		next = next.Add(time.Duration(rng.ExpFloat64() / rps * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			// Ahead of schedule: push buffered requests out before
+			// sleeping so nothing lingers client-side; batching then only
+			// happens while catching up, where throughput is what matters.
+			if err := bw.Flush(); err != nil {
+				st.err = fmt.Errorf("live: flush: %w", err)
+				return
+			}
+			time.Sleep(d)
+		}
+		seq++
+		req.ID = connIdx<<32 | seq
+		req.GenNs = next.UnixNano() // scheduled time: no coordinated omission
+		req.Features = feats[seq%cycle]
+		if err := enc.Encode(&req); err != nil {
+			st.err = fmt.Errorf("live: send: %w", err)
+			return
+		}
+		st.sent++
+	}
+	if err := bw.Flush(); err != nil {
+		st.err = fmt.Errorf("live: flush: %w", err)
+		return
+	}
+	st.sendDur = time.Since(start)
+	// Drain: stop as soon as every response landed, or cut the read at
+	// the drain deadline.
+	finalSent.Store(int64(st.sent))
+	if answered.Load() >= int64(st.sent) {
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(drain))
+	<-recvDone
+}

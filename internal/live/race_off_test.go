@@ -1,0 +1,5 @@
+//go:build !race
+
+package live
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package live
+
+// raceEnabled reports whether the race detector instruments this build;
+// the saturation smoke skips under it (the ~5-10x slowdown is the
+// detector's, not the transport's).
+const raceEnabled = true

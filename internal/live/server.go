@@ -32,6 +32,7 @@ type Request struct {
 // retry policy decides what happens next.
 type Response struct {
 	ID      uint64 `json:"id"`
+	GenNs   int64  `json:"gen_ns,omitempty"` // echo of the request's generation stamp
 	RecvNs  int64  `json:"recv_ns"`
 	StartNs int64  `json:"start_ns"`
 	EndNs   int64  `json:"end_ns"`
@@ -57,6 +58,12 @@ type ServerConfig struct {
 	// "gemini" or "eetl" — the same policy set the simulator evaluates,
 	// all running on the shared clock-agnostic core in internal/policy.
 	Policy string
+	// HeadOnly makes ReTail's Algorithm 1 examine only the request being
+	// scheduled instead of the whole FCFS queue — the live binding of the
+	// simulator's ablation switch (manager.Config.HeadOnly). Besides the
+	// ablation itself, it bounds per-decision cost at O(levels) regardless
+	// of backlog, which transport saturation tests rely on.
+	HeadOnly bool
 	// ProfileAtMax is the offline service-time profile at max frequency
 	// (seconds), required by the profile-driven baselines (rubik, eetl).
 	ProfileAtMax []float64
@@ -83,10 +90,22 @@ type ServerConfig struct {
 	Degrade DegradePolicy
 }
 
+// connIO is one connection's response plumbing: resp is an MPSC channel
+// — any worker (and the shed/deadline paths) produces into it, the
+// connection's single writer goroutine consumes — and gone is closed
+// when the connection tears down so producers never block on a dead
+// peer. Decoupling responses from the read loop lets a client pipeline
+// requests on one connection, which is what an open-loop load generator
+// needs to reach saturation.
+type connIO struct {
+	resp chan Response
+	gone chan struct{}
+}
+
 type queuedReq struct {
 	req  Request
 	recv time.Time
-	done chan Response
+	out  *connIO
 }
 
 // Server is the wall-clock adapter of the shared decision core: one
@@ -135,6 +154,13 @@ type Server struct {
 
 	decisions uint64
 	metrics   *liveMetrics // nil when cfg.Metrics is nil
+
+	// reqPool recycles queuedReq nodes (and their Features backing)
+	// between requests: the connection reader decodes into a pooled node,
+	// and whichever path answers the request — completion, shed, deadline
+	// drop — returns it via respond. At 100k+ RPS this keeps the ingress
+	// path off the allocator.
+	reqPool sync.Pool
 
 	// Graceful degradation (see degrade.go): normalized policy, recovery
 	// counters, and the per-worker believed-hardware-level table.
@@ -335,24 +361,64 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := json.NewDecoder(conn)
-	enc := json.NewEncoder(conn)
-	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		done := make(chan Response, 1)
-		s.enqueue(req, done)
-		select {
-		case resp := <-done:
-			if err := enc.Encode(resp); err != nil {
+	io := &connIO{resp: make(chan Response, 64), gone: make(chan struct{})}
+	// Writer: the sole consumer of this connection's response channel.
+	// Running it apart from the read loop means the server accepts the
+	// next pipelined request while earlier ones are still executing;
+	// responses carry IDs, so pipelining clients correlate them.
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		enc := json.NewEncoder(conn)
+		for {
+			select {
+			case r := <-io.resp:
+				if err := enc.Encode(r); err != nil {
+					conn.Close() // unblock the reader; gone stops producers
+					return
+				}
+			case <-io.gone:
+				return
+			case <-s.stop:
 				return
 			}
-		case <-s.stop:
+		}
+	}()
+	// Tear-down order matters: close gone first (releases the writer and
+	// any producer blocked on a full resp channel), then join the writer.
+	defer func() { close(io.gone); wwg.Wait() }()
+	dec := json.NewDecoder(conn)
+	for {
+		q, _ := s.reqPool.Get().(*queuedReq)
+		if q == nil {
+			q = &queuedReq{}
+		}
+		// Reset before decode: json reuses the Features backing array and
+		// leaves absent fields untouched.
+		q.req.ID, q.req.GenNs, q.req.Features = 0, 0, q.req.Features[:0]
+		if err := dec.Decode(&q.req); err != nil {
+			s.reqPool.Put(q)
 			return
 		}
+		q.recv, q.out = time.Now(), io
+		s.enqueue(q)
 	}
+}
+
+// respond hands the response to the request's connection writer (the
+// single consumer of the connIO MPSC channel) and recycles the request
+// node. A torn-down connection or a stopping server drops the response
+// instead of blocking the worker.
+func (s *Server) respond(q *queuedReq, r Response) {
+	out := q.out
+	q.out = nil
+	select {
+	case out.resp <- r:
+	case <-out.gone:
+	case <-s.stop:
+	}
+	s.reqPool.Put(q)
 }
 
 // enqueue joins the shortest queue via the shared policy.JSQ rule (same
@@ -363,11 +429,10 @@ func (s *Server) serveConn(conn net.Conn) {
 // time — exceeds ShedFactor × QoS′ (policy.Degrade.ShouldShed):
 // accepting a request that provably cannot meet the deadline only wastes
 // energy and delays requests that still can.
-func (s *Server) enqueue(req Request, done chan Response) {
-	q := &queuedReq{req: req, recv: time.Now(), done: done}
+func (s *Server) enqueue(q *queuedReq) {
 	var svcAtMax float64
 	if s.policy.ShedFactor > 0 {
-		svcAtMax = s.cfg.Predictor.Predict(s.grid.MaxLevel(), req.Features)
+		svcAtMax = s.cfg.Predictor.Predict(s.grid.MaxLevel(), q.req.Features)
 	}
 	s.mu.Lock()
 	best := s.jsq.Pick(len(s.queues), s.jsqLoad)
@@ -375,7 +440,7 @@ func (s *Server) enqueue(req Request, done chan Response) {
 		s.mu.Unlock()
 		s.deg.shed.Add(1)
 		s.metrics.incShed()
-		done <- Response{ID: req.ID, RecvNs: q.recv.UnixNano(), Dropped: true}
+		s.respond(q, Response{ID: q.req.ID, GenNs: q.req.GenNs, RecvNs: q.recv.UnixNano(), Dropped: true})
 		return
 	}
 	s.queues[best] = append(s.queues[best], q)
@@ -425,7 +490,7 @@ func (s *Server) worker(id int) {
 		if s.degrade.DeadlineExceeded(time.Since(q.recv).Seconds(), float64(s.cfg.QoS.Latency)) {
 			s.deg.deadline.Add(1)
 			s.metrics.incDeadlineDrop()
-			q.done <- Response{ID: q.req.ID, RecvNs: q.recv.UnixNano(), Dropped: true}
+			s.respond(q, Response{ID: q.req.ID, GenNs: q.req.GenNs, RecvNs: q.recv.UnixNano(), Dropped: true})
 			continue
 		}
 		lvl, predicted, qlen, qp := s.decide(id, q)
@@ -467,13 +532,14 @@ func (s *Server) worker(id int) {
 		s.mu.Lock()
 		s.dec.Observe(s.toS(end.UnixNano()), sojourn.Seconds())
 		s.mu.Unlock()
-		q.done <- Response{
+		s.respond(q, Response{
 			ID:      q.req.ID,
+			GenNs:   q.req.GenNs,
 			RecvNs:  q.recv.UnixNano(),
 			StartNs: start.UnixNano(),
 			EndNs:   end.UnixNano(),
 			Level:   int(applied),
-		}
+		})
 	}
 }
 

@@ -64,9 +64,11 @@ func (m *EETL) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
 	if m.Threshold <= 0 {
 		return
 	}
-	req := r
+	// Pointer AND ID: request nodes may be pooled, so the same pointer can
+	// later host a different request (IDs are never reused).
+	req, id := r, r.ID
 	e.After(m.Threshold, "eetl.threshold", func(en *sim.Engine) {
-		if w.Current() == req {
+		if cur := w.Current(); cur == req && cur.ID == id {
 			m.boosts++
 			w.Core().SetLevel(en, m.BoostLevel)
 		}

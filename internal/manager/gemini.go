@@ -161,8 +161,12 @@ func (m *Gemini) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
 			PredictedService: predicted,
 		})
 	}
+	// Identity across time is pointer AND ID: request nodes may be pooled,
+	// so a later event can see the same pointer hosting a different
+	// request. IDs are never reused, so the pair is exact.
+	id := r.ID
 	e.After(m.cfg.InferenceCost, "gemini.setfreq", func(en *sim.Engine) {
-		if w.Current() != r {
+		if cur := w.Current(); cur != r || cur.ID != id {
 			return // already finished: the decision arrived too late
 		}
 		w.Core().SetLevel(en, chosen)
@@ -173,7 +177,7 @@ func (m *Gemini) Start(e *sim.Engine, w *server.Worker, r *workload.Request) {
 		// the request is still running (it almost always is, since the
 		// checkpoint lands before the predicted completion).
 		en.After(sim.Duration(m.cfg.BoostFrac*predicted), "gemini.boost", func(en2 *sim.Engine) {
-			if w.Current() == r {
+			if cur := w.Current(); cur == r && cur.ID == id {
 				m.boosts++
 				w.Core().SetLevel(en2, maxLvl)
 			}

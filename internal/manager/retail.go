@@ -118,6 +118,12 @@ type ReTail struct {
 	pred     map[uint64]*predEntry
 	predFree []*predEntry
 	modelGen uint64
+	// One-entry lookup cache over pred: Algorithm 1 consults the memo for
+	// the same request many times in a row (once per candidate level and
+	// pipeline slot), and the repeated map hash dominates entryFor. The ID
+	// double-check makes a recycled pooled Request pointer miss.
+	lastID  uint64
+	lastEnt *predEntry
 	// scratch backs the Complete hook's feature build (drift bookkeeping),
 	// which needs no memo because each completed request is scored once.
 	scratch []float64
@@ -284,8 +290,17 @@ func (m *ReTail) Attach(e *sim.Engine, s *server.Server) {
 // (sim.Time's underlying representation, so the conversion is identity).
 type simTimer struct{ e *sim.Engine }
 
+// timerTrampoline adapts a policy timer callback to the engine's
+// closure-free AtCall form; the callback (RunMonitor's single long-lived
+// fire closure) rides along as the argument, so re-arming the monitor
+// allocates nothing. Func values are pointer-shaped, so the interface
+// conversion does not allocate either.
+func timerTrampoline(en *sim.Engine, arg any) {
+	arg.(func(policy.Time))(float64(en.Now()))
+}
+
 func (t simTimer) AfterFunc(d policy.Duration, name string, fn func(now policy.Time)) {
-	t.e.After(sim.Duration(d), name, func(en *sim.Engine) { fn(float64(en.Now())) })
+	t.e.AfterCall(sim.Duration(d), name, timerTrampoline, fn)
 }
 
 func (m *ReTail) scheduleMonitor(e *sim.Engine) {
@@ -327,7 +342,12 @@ type predEntry struct {
 // model generation changed since the entry was filled.
 func (m *ReTail) entryFor(r *workload.Request) *predEntry {
 	ready := m.rd.IsReady(r.ID)
-	ent := m.pred[r.ID]
+	var ent *predEntry
+	if m.lastEnt != nil && m.lastID == r.ID {
+		ent = m.lastEnt
+	} else {
+		ent = m.pred[r.ID]
+	}
 	if ent == nil {
 		if n := len(m.predFree); n > 0 {
 			ent = m.predFree[n-1]
@@ -339,6 +359,7 @@ func (m *ReTail) entryFor(r *workload.Request) *predEntry {
 		ent.modelGen = m.modelGen - 1 // force the rebuild below
 		m.pred[r.ID] = ent
 	}
+	m.lastID, m.lastEnt = r.ID, ent
 	if ent.modelGen != m.modelGen || ent.ready != ready {
 		ent.modelGen, ent.ready = m.modelGen, ready
 		ent.feats = AppendObservableFeatures(ent.feats, m.cfg.Layout.Specs, r, ready, false)
@@ -360,6 +381,9 @@ func (m *ReTail) forgetPrediction(r *workload.Request) {
 	if ent, ok := m.pred[r.ID]; ok {
 		delete(m.pred, r.ID)
 		m.predFree = append(m.predFree, ent)
+		if ent == m.lastEnt {
+			m.lastEnt = nil
+		}
 	}
 }
 

@@ -72,6 +72,10 @@ type Monitor struct {
 	// so the tail estimate is meaningful at any request rate.
 	winAt  []Time
 	winVal []float64
+	// scratch backs the per-tick percentile: the tail estimate permutes a
+	// copy of winVal (quickselect), and reusing one buffer keeps the tick
+	// allocation-free.
+	scratch []float64
 
 	// smoothedTail is an EWMA of the measured tail; the raw percentile of
 	// a short window is too noisy to steer QoS′ without oscillation.
@@ -161,7 +165,8 @@ func (m *Monitor) measuredTail(now Time) (float64, bool) {
 	if len(m.winVal) < m.cfg.MinSamples {
 		return 0, false
 	}
-	return stats.Percentile(m.winVal, m.cfg.Percentile), true
+	m.scratch = append(m.scratch[:0], m.winVal...)
+	return stats.PercentileInPlace(m.scratch, m.cfg.Percentile), true
 }
 
 // Tick runs one monitor step (§VI-C): compare the measured tail over the

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"retail/internal/cpu"
@@ -45,8 +46,26 @@ type Sample struct {
 // so online retraining always uses the latest data (stale pre-drift
 // samples age out).
 type TrainingSet struct {
+	// mu serializes Clone against Add (and concurrent Clones of one
+	// shared calibration set, as the fleet fan-out performs). At/All stay
+	// lock-free: they read buffers that sharing freezes (see cow).
+	mu       sync.Mutex
 	perLevel map[cpu.Level][]Sample
-	cap      int
+	// head[lvl] is the ring's oldest slot once the level is full; the
+	// logical (oldest-first) order is buf[head:], buf[:head]. Keeping a
+	// rotating head makes Add O(1) — the previous shift-down eviction
+	// copied the whole ring (with its pointer-bearing feature slices, so
+	// write barriers too) on every steady-state sample.
+	head map[cpu.Level]int
+	// cow marks levels whose buffer and feature backings are shared with
+	// another set via Clone. Shared arrays are immutable; the first Add
+	// to a shared level materializes a private deep copy. Calibration
+	// sets are cloned per node/run but most clones retrain only a few
+	// levels (many never), so lazy copying removes the dominant
+	// allocation of a fleet run without weakening isolation: samples
+	// added to any set are never visible to another.
+	cow map[cpu.Level]bool
+	cap int
 }
 
 // NewTrainingSet returns a set keeping up to capPerLevel samples per
@@ -55,19 +74,40 @@ func NewTrainingSet(capPerLevel int) *TrainingSet {
 	if capPerLevel <= 0 {
 		capPerLevel = 1000
 	}
-	return &TrainingSet{perLevel: map[cpu.Level][]Sample{}, cap: capPerLevel}
+	return &TrainingSet{
+		perLevel: map[cpu.Level][]Sample{},
+		head:     map[cpu.Level]int{},
+		cow:      map[cpu.Level]bool{},
+		cap:      capPerLevel,
+	}
 }
 
-// Add records a sample, evicting the oldest at that level when full.
+// Add records a sample, evicting the oldest at that level when full. The
+// feature slice is copied: callers (online training in particular) hand in
+// views of live — possibly pooled and recycled — request state, and the
+// set must outlive them. Once the ring is full the copy reuses the evicted
+// sample's backing array, so steady-state training stays off the allocator.
 func (t *TrainingSet) Add(s Sample) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cow[s.Level] {
+		t.materialize(s.Level)
+	}
 	buf := t.perLevel[s.Level]
 	if len(buf) == t.cap {
-		copy(buf, buf[1:])
-		buf[len(buf)-1] = s
+		h := t.head[s.Level]
+		old := buf[h].Features[:0]
+		s.Features = append(old, s.Features...)
+		buf[h] = s
+		h++
+		if h == t.cap {
+			h = 0
+		}
+		t.head[s.Level] = h
 	} else {
-		buf = append(buf, s)
+		s.Features = append(make([]float64, 0, len(s.Features)), s.Features...)
+		t.perLevel[s.Level] = append(buf, s)
 	}
-	t.perLevel[s.Level] = buf
 }
 
 // CountAt returns the number of samples stored for a level.
@@ -82,30 +122,86 @@ func (t *TrainingSet) Total() int {
 	return n
 }
 
-// At returns the stored samples for one level (caller must not modify).
-func (t *TrainingSet) At(lvl cpu.Level) []Sample { return t.perLevel[lvl] }
+// At returns the stored samples for one level, oldest first (caller must
+// not modify). Until the ring rotates this is a zero-copy view; afterwards
+// it materializes the logical order — callers of At are (re)training paths,
+// which run orders of magnitude less often than Add.
+func (t *TrainingSet) At(lvl cpu.Level) []Sample {
+	buf := t.perLevel[lvl]
+	h := t.head[lvl]
+	if h == 0 {
+		return buf
+	}
+	out := make([]Sample, 0, len(buf))
+	out = append(out, buf[h:]...)
+	return append(out, buf[:h]...)
+}
 
 // All returns every stored sample.
 func (t *TrainingSet) All() []Sample {
 	out := make([]Sample, 0, t.Total())
-	for _, b := range t.perLevel {
-		out = append(out, b...)
+	for lvl, b := range t.perLevel {
+		h := t.head[lvl]
+		out = append(out, b[h:]...)
+		out = append(out, b[:h]...)
 	}
 	return out
 }
 
 // Clear empties the set.
-func (t *TrainingSet) Clear() { t.perLevel = map[cpu.Level][]Sample{} }
+func (t *TrainingSet) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.perLevel = map[cpu.Level][]Sample{}
+	t.head = map[cpu.Level]int{}
+	t.cow = map[cpu.Level]bool{}
+}
+
+// materialize replaces one shared level with a private deep copy in
+// logical (oldest-first) order, head 0 — exactly the state an eager clone
+// would have produced, so every subsequent Add behaves identically. One
+// flat backing per level, with each feature view capacity-capped to its
+// own span so a later in-place eviction cannot bleed into a neighbor.
+// Caller holds mu.
+func (t *TrainingSet) materialize(lvl cpu.Level) {
+	buf := t.perLevel[lvl]
+	h := t.head[lvl]
+	cp := make([]Sample, 0, t.cap)
+	cp = append(cp, buf[h:]...)
+	cp = append(cp, buf[:h]...)
+	total := 0
+	for i := range cp {
+		total += len(cp[i].Features)
+	}
+	flat := make([]float64, 0, total)
+	for i := range cp {
+		n := len(flat)
+		flat = append(flat, cp[i].Features...)
+		cp[i].Features = flat[n:len(flat):len(flat)]
+	}
+	t.perLevel[lvl] = cp
+	t.head[lvl] = 0
+	delete(t.cow, lvl)
+}
 
 // Clone returns an independent copy; experiment harnesses clone the
 // calibration set per run so one run's live samples cannot leak into the
-// next.
+// next. The copy is lazy: both sets share the level buffers, marked
+// copy-on-write, and whichever side Adds to a shared level first pays for
+// its own private copy then. Cloning the same set from several goroutines
+// is safe (the fleet fan-out does); a clone itself is single-goroutine
+// like any other TrainingSet.
 func (t *TrainingSet) Clone() *TrainingSet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	c := NewTrainingSet(t.cap)
 	for lvl, buf := range t.perLevel {
-		cp := make([]Sample, len(buf))
-		copy(cp, buf)
-		c.perLevel[lvl] = cp
+		c.perLevel[lvl] = buf
+		if h := t.head[lvl]; h != 0 {
+			c.head[lvl] = h
+		}
+		c.cow[lvl] = true
+		t.cow[lvl] = true
 	}
 	return c
 }
@@ -429,6 +525,14 @@ type DriftDetector struct {
 	next int
 	full bool
 
+	// Incremental window sum with a rigorous bound on its distance from
+	// the fresh left-to-right sum Current computes. Drifted uses it to
+	// skip the O(window) pass when the window is provably far from the
+	// threshold; whenever the margin cannot certify the outcome, the
+	// exact sum is recomputed, so results are bit-identical either way.
+	sumInc float64
+	sumErr float64
+
 	// onDrift, when set, fires once per drift episode: the first time
 	// Drifted observes the threshold crossed since the last Reset.
 	// Telemetry hooks a drift-event counter here.
@@ -470,16 +574,36 @@ func (d *DriftDetector) Baseline() (float64, bool) { return d.baseline, d.baseli
 func (d *DriftDetector) Reset() {
 	d.next, d.full = 0, false
 	d.notified = false
+	d.sumInc, d.sumErr = 0, 0
 }
 
 // Observe records one (predicted, actual) service-time pair.
 func (d *DriftDetector) Observe(predicted, actual float64) {
 	e := predicted - actual
-	d.errs[d.next] = e * e
+	sq := e * e
+	var old float64
+	if d.full {
+		old = d.errs[d.next]
+	}
+	d.errs[d.next] = sq
 	d.next++
 	if d.next == len(d.errs) {
 		d.next = 0
 		d.full = true
+	}
+	// Each incremental step introduces at most two roundings; 4·eps of
+	// the involved magnitudes over-covers them. On wrap, resync with a
+	// fresh pass so the bound cannot grow without limit.
+	const eps = 2.3e-16
+	d.sumInc += sq - old
+	d.sumErr += 4 * eps * (math.Abs(d.sumInc) + sq + old)
+	if d.next == 0 {
+		fresh := 0.0
+		for _, v := range d.errs {
+			fresh += v
+		}
+		d.sumInc = fresh
+		d.sumErr = 2 * eps * float64(len(d.errs)) * fresh
 	}
 }
 
@@ -504,6 +628,26 @@ func (d *DriftDetector) Current() (float64, bool) {
 // more than Threshold.
 func (d *DriftDetector) Drifted() bool {
 	if !d.baselineSet {
+		return false
+	}
+	// Fast path: when the incremental window sum sits provably below the
+	// drift threshold — under every rounding discrepancy the margin
+	// accounts for, with generous slack for the sqrt/divide roundings in
+	// Current — the exact computation could only return "not drifted",
+	// so skip it. This check runs once per completed request; the exact
+	// O(window) pass then only runs near or past the threshold.
+	n := d.next
+	if d.full {
+		n = len(d.errs)
+	}
+	if n < len(d.errs)/4 || n < 2 {
+		return false
+	}
+	lim := d.QoS * (d.baseline + d.Threshold)
+	lim *= lim
+	const eps = 2.3e-16
+	slack := (d.sumErr + 4*eps*float64(n)*(math.Abs(d.sumInc)+d.sumErr)) / float64(n)
+	if d.sumInc/float64(n)+slack+1e-12*lim < lim {
 		return false
 	}
 	cur, ok := d.Current()

@@ -119,6 +119,13 @@ func New(cfg Config) *Server {
 		w := &Worker{ID: i, server: s, core: s.Socket.Cores[i]}
 		core := s.Socket.Cores[i]
 		core.OnChange = func(e *sim.Engine, _ cpu.Level) { w.onFreqChange(e) }
+		// Bind the worker's event callbacks once: the per-request hot path
+		// (stage-1 ready, completion) then schedules via AtCall with no
+		// closure allocation.
+		w.readyFn = func(en *sim.Engine, arg any) {
+			w.server.Hooks.Ready(en, w, arg.(*workload.Request))
+		}
+		w.completeFn = func(en *sim.Engine, _ any) { w.complete(en) }
 		s.workers = append(s.workers, w)
 	}
 	s.jsqLoad = func(i int) int { return s.workers[i].Outstanding() }
@@ -183,7 +190,7 @@ func (s *Server) pick() *Worker {
 func (s *Server) QueuedTotal() int {
 	n := 0
 	for _, w := range s.workers {
-		n += len(w.queue)
+		n += len(w.queue) - w.qhead
 	}
 	return n
 }
@@ -195,8 +202,22 @@ type Worker struct {
 	server *Server
 	core   *cpu.Core
 
+	// queue is the FCFS backlog; the live window is queue[qhead:]. The
+	// head index (rather than re-slicing queue = queue[1:]) lets the
+	// backing array be reused once the window empties, so steady-state
+	// enqueue/dequeue cycles never reallocate.
 	queue   []*workload.Request
+	qhead   int
 	current *exec
+	// execSlot is the worker's only exec record: a worker runs one request
+	// at a time, so start() reuses this slot instead of allocating per
+	// request. current points at it while a request is in flight.
+	execSlot exec
+
+	// readyFn/completeFn are the worker's event callbacks, bound once in
+	// New (see AtCall in package sim).
+	readyFn    func(*sim.Engine, any)
+	completeFn func(*sim.Engine, any)
 }
 
 // exec tracks the in-flight request's progress so mid-request frequency
@@ -235,11 +256,11 @@ func (w *Worker) Current() *workload.Request {
 
 // Queue returns the waiting requests in FCFS order. The slice is the
 // worker's own; callers must not modify it.
-func (w *Worker) Queue() []*workload.Request { return w.queue }
+func (w *Worker) Queue() []*workload.Request { return w.queue[w.qhead:] }
 
 // Outstanding returns queued plus running request count.
 func (w *Worker) Outstanding() int {
-	n := len(w.queue)
+	n := len(w.queue) - w.qhead
 	if w.current != nil {
 		n++
 	}
@@ -277,7 +298,7 @@ func (w *Worker) enqueue(e *sim.Engine, r *workload.Request) {
 		return
 	}
 	frac := w.stage1FracOf(r)
-	if w.current == nil && len(w.queue) == 0 {
+	if w.current == nil && len(w.queue) == w.qhead {
 		// Idle worker: the request starts immediately; stage 1 is simply
 		// the first frac of its execution, so features become observable
 		// partway in.
@@ -304,10 +325,7 @@ func (w *Worker) enqueue(e *sim.Engine, r *workload.Request) {
 		cur.interruptUntil += d1
 		w.rescheduleCompletion(e)
 	}
-	req := r
-	e.After(d1, "server.stage1", func(en *sim.Engine) {
-		w.server.Hooks.Ready(en, w, req)
-	})
+	e.AfterCall(d1, "server.stage1", w.readyFn, r)
 	r.Stage1Done = true
 	r.Stage1Time = d1
 }
@@ -317,23 +335,26 @@ func (w *Worker) enqueue(e *sim.Engine, r *workload.Request) {
 // when positive, schedules the Ready callback partway into execution (the
 // idle-arrival path where stage 1 is folded in).
 func (w *Worker) start(e *sim.Engine, stage2Scale float64, stage1Charged sim.Duration, readyFrac float64) {
-	r := w.queue[0]
-	w.queue = w.queue[1:]
+	r := w.queue[w.qhead]
+	w.queue[w.qhead] = nil
+	w.qhead++
+	if w.qhead == len(w.queue) {
+		w.queue = w.queue[:0]
+		w.qhead = 0
+	}
 	r.Start = e.Now() - stage1Charged
-	w.current = &exec{
+	w.execSlot = exec{
 		req:           r,
 		stage2Scale:   stage2Scale,
 		stage1Charged: stage1Charged,
 		lastT:         e.Now(),
 	}
+	w.current = &w.execSlot
 	w.core.SetBusy(e, true)
 	w.server.Hooks.Start(e, w, r)
 	if readyFrac > 0 {
 		d1 := sim.Duration(readyFrac * float64(w.fullDuration(r)))
-		req := r
-		w.current.readyEv = e.After(d1, "server.ready", func(en *sim.Engine) {
-			w.server.Hooks.Ready(en, w, req)
-		})
+		w.current.readyEv = e.AfterCall(d1, "server.ready", w.readyFn, r)
 	} else if readyFrac == 0 && !r.Stage1Done {
 		w.server.Hooks.Ready(e, w, r)
 	}
@@ -384,9 +405,7 @@ func (w *Worker) rescheduleCompletion(e *sim.Engine) {
 	if c.interruptUntil > e.Now() {
 		remaining += c.interruptUntil - e.Now()
 	}
-	c.completionEv = e.After(remaining, "server.complete", func(en *sim.Engine) {
-		w.complete(en)
-	})
+	c.completionEv = e.AfterCall(remaining, "server.complete", w.completeFn, nil)
 }
 
 func (w *Worker) onFreqChange(e *sim.Engine) {
@@ -413,8 +432,8 @@ func (w *Worker) complete(e *sim.Engine) {
 	if w.server.CompletedSink != nil {
 		w.server.CompletedSink(e, r)
 	}
-	if len(w.queue) > 0 {
-		next := w.queue[0]
+	if len(w.queue) > w.qhead {
+		next := w.queue[w.qhead]
 		if next.Stage1Done {
 			frac := w.stage1FracOf(next)
 			w.start(e, 1-frac, next.Stage1Time, -1)

@@ -1,0 +1,286 @@
+package sim
+
+// calendarQueue is a dynamic calendar queue (R. Brown, CACM 1988): an open
+// hash of unsorted buckets indexed by event time, scanned like the days of
+// a calendar. With the bucket width tracking the mean gap between pending
+// events, schedule and fire are O(1) amortized at any queue size — the
+// property that lets fleet sweeps hold tens of thousands of pending events
+// without the O(log n) sift of a binary heap.
+//
+// Exact-ordering contract: pop returns the global minimum by (At, seq).
+// Two events with equal At always compute the same absolute bucket number
+// (babs is derived from At alone), so ties are resolved inside one bucket
+// scan by seq. Bucket membership for the year mechanism is decided by the
+// stored babs — never by re-deriving boundaries from floats — so the scan
+// can never disagree with the placement that push performed.
+type calendarQueue struct {
+	buckets [][]*Event
+	// min is the peek cache: when non-nil it points at the global minimum
+	// by (At, seq), letting pops and repeated failed peeks (Run calls that
+	// fire nothing) skip the bucket scan. nil means unknown. push keeps it
+	// current; unlink invalidates it; a scan that stops at an event past
+	// until repopulates it.
+	min *Event
+	// solo holds the sole pending event while n==1 and the event was
+	// pushed onto an empty queue, bypassing the bucket machinery entirely
+	// (the schedule→fire and schedule→cancel cycles of a drained engine
+	// are then as cheap as a one-element heap). Invariant: solo != nil
+	// implies n == 1 and all buckets empty; the next push demotes it into
+	// the buckets first.
+	solo   *Event
+	mask   int     // len(buckets)-1; bucket count is a power of two
+	n      int     // pending events
+	w      Time    // bucket width (virtual seconds per calendar day)
+	invW   float64 // 1/w, so the push path multiplies instead of divides
+	curAbs int64   // absolute bucket number the pop scan resumes from
+	lastAt Time    // At of the last popped event (scan floor after resize)
+	direct int     // consecutive pops that fell through to direct search
+}
+
+const (
+	minCalBuckets = 4
+	maxCalBuckets = 1 << 17
+	calWidthMin   = Time(1e-9)
+)
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{
+		buckets: make([][]*Event, minCalBuckets),
+		mask:    minCalBuckets - 1,
+		w:       Millisecond, // the simulator's natural timescale; resizes re-estimate
+		invW:    1 / float64(Millisecond),
+	}
+}
+
+// absOf maps a timestamp to its absolute (non-wrapped) bucket number.
+// Monotone nondecreasing in at, which is what the ordering proof needs.
+func (q *calendarQueue) absOf(at Time) int64 {
+	f := float64(at) * q.invW
+	if f >= 9e15 { // keep well inside int64 (and float64-exact integers)
+		f = 9e15
+	}
+	if f < 0 {
+		f = 0
+	}
+	return int64(f)
+}
+
+func (q *calendarQueue) insert(ev *Event) {
+	abs := q.absOf(ev.At)
+	ev.babs = abs
+	// Run(until) with until < now rewinds the engine clock, so a push can
+	// land before the last popped timestamp; pull the scan floor back so
+	// the pop scan cannot skip it.
+	if abs < q.curAbs {
+		q.curAbs = abs
+	}
+	if ev.At < q.lastAt {
+		q.lastAt = ev.At
+	}
+	b := int(abs) & q.mask
+	bl := q.buckets[b]
+	ev.index = len(bl)
+	q.buckets[b] = append(bl, ev)
+	q.n++
+	// Lazy peek cache: only kept current once a scan has populated it, so
+	// the push/cancel cycle never pays the extra store.
+	if q.min != nil && eventLess(ev, q.min) {
+		q.min = ev
+	}
+}
+
+func (q *calendarQueue) push(ev *Event) {
+	if q.n == 0 {
+		ev.index = 0 // a non-negative index marks the event cancellable
+		q.solo = ev
+		q.n = 1
+		return
+	}
+	if s := q.solo; s != nil {
+		q.solo = nil
+		q.n--
+		q.insert(s)
+	}
+	q.insert(ev)
+	if nb := q.mask + 1; q.n > nb*2 && nb < maxCalBuckets {
+		q.resize(nb * 2)
+	}
+}
+
+// unlink removes a node from its bucket by swap-remove (bucket order is
+// irrelevant: pop always scans for the minimum).
+func (q *calendarQueue) unlink(ev *Event) {
+	b := int(ev.babs) & q.mask
+	bl := q.buckets[b]
+	last := len(bl) - 1
+	if i := ev.index; i != last {
+		moved := bl[last]
+		bl[i] = moved
+		moved.index = i
+	}
+	bl[last] = nil
+	q.buckets[b] = bl[:last]
+	ev.index = -1
+	q.n--
+	if ev == q.min {
+		q.min = nil
+	}
+}
+
+func (q *calendarQueue) remove(ev *Event) {
+	if ev == q.solo {
+		q.solo = nil
+		q.n = 0
+		ev.index = -1
+		return
+	}
+	q.unlink(ev)
+	if nb := q.mask + 1; q.n < nb/8 && nb > minCalBuckets {
+		q.resize(nb / 2)
+	}
+}
+
+func (q *calendarQueue) popLE(until Time) *Event {
+	if s := q.solo; s != nil {
+		if s.At > until {
+			return nil
+		}
+		q.solo = nil
+		q.n = 0
+		s.index = -1
+		q.lastAt = s.At // scan floor for later pushes; curAbs stays a safe lower bound
+		return s
+	}
+	if m := q.min; m != nil {
+		if m.At > until {
+			return nil
+		}
+		q.curAbs = m.babs
+		q.direct = 0
+		return q.take(m)
+	}
+	if q.n == 0 {
+		return nil
+	}
+	if q.n > 2 {
+		nb := q.mask + 1
+		abs := q.curAbs
+		for i := 0; i < nb; i++ {
+			if bl := q.buckets[int(abs)&q.mask]; len(bl) > 0 {
+				var best, best2 *Event
+				for _, ev := range bl {
+					// Same-year events only: a bucket also holds events one
+					// or more full calendar years ahead.
+					if ev.babs != abs {
+						continue
+					}
+					if best == nil || eventLess(ev, best) {
+						best2, best = best, ev
+					} else if best2 == nil || eventLess(ev, best2) {
+						best2 = ev
+					}
+				}
+				if best != nil {
+					if best.At > until {
+						q.min = best // cache for the next peek
+						return nil
+					}
+					q.curAbs = abs
+					q.direct = 0
+					ev := q.take(best)
+					// The runner-up in this day is the new global minimum
+					// (same-year bucket members precede every later day), so
+					// the next pop skips the scan entirely. One scan, two
+					// pops.
+					q.min = best2
+					return ev
+				}
+			}
+			abs++
+		}
+		// A whole year of empty days: the pending events are sparse
+		// relative to the bucket width.
+		q.direct++
+	}
+	// Direct search: find the global minimum and jump the calendar to it.
+	// Tiny queues land here unconditionally (a scan over <= minCalBuckets*2
+	// buckets beats the year mechanism); larger ones only after a full
+	// empty year.
+	var best, best2 *Event
+	for _, bl := range q.buckets {
+		for _, ev := range bl {
+			if best == nil || eventLess(ev, best) {
+				best2, best = best, ev
+			} else if best2 == nil || eventLess(ev, best2) {
+				best2 = ev
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if best.At > until {
+		q.min = best // cache for the next peek
+		return nil
+	}
+	q.curAbs = best.babs
+	ev := q.take(best)
+	q.min = best2 // runner-up: the next pop's minimum, scan-free
+	if q.direct > 8 && q.n > 1 {
+		// Repeated direct searches mean the width no longer matches the
+		// event-time distribution; re-estimate it at the current size.
+		q.direct = 0
+		q.resize(q.mask + 1)
+	}
+	return ev
+}
+
+// take pops a specific node: unlink plus scan-floor bookkeeping, and the
+// shrink check that keeps the load factor near one as the queue drains.
+func (q *calendarQueue) take(ev *Event) *Event {
+	q.unlink(ev)
+	q.lastAt = ev.At
+	if nb := q.mask + 1; q.n < nb/8 && nb > minCalBuckets {
+		q.resize(nb / 2)
+	}
+	return ev
+}
+
+// resize rebuilds the calendar with nb buckets and a width re-estimated
+// from the live population (Brown's rule: ~3x the mean gap, so one bucket
+// holds a handful of events and one year spans the whole horizon).
+func (q *calendarQueue) resize(nb int) {
+	var lo, hi Time
+	seen := false
+	for _, bl := range q.buckets {
+		for _, ev := range bl {
+			if !seen || ev.At < lo {
+				lo = ev.At
+			}
+			if !seen || ev.At > hi {
+				hi = ev.At
+			}
+			seen = true
+		}
+	}
+	if seen && hi > lo && q.n > 1 {
+		w := Time(3 * float64(hi-lo) / float64(q.n))
+		if w < calWidthMin {
+			w = calWidthMin
+		}
+		q.w = w
+		q.invW = 1 / float64(w)
+	}
+	old := q.buckets
+	q.buckets = make([][]*Event, nb)
+	q.mask = nb - 1
+	q.n = 0
+	q.curAbs = q.absOf(q.lastAt)
+	for _, bl := range old {
+		for _, ev := range bl {
+			q.insert(ev)
+		}
+	}
+}
+
+func (q *calendarQueue) len() int { return q.n }

@@ -6,10 +6,15 @@
 // Determinism is important because the paper's evaluation compares power
 // managers on identical request streams; every source of randomness is a
 // seeded *rand.Rand owned by the caller, never the global one.
+//
+// The queue behind the engine is pluggable (see QueueKind): a calendar
+// queue serves as the default hot-path structure, with the binary heap and
+// a ladder queue kept as reference implementations. Every queue obeys the
+// same exact-ordering contract, enforced by property tests that replay
+// identical schedules through all of them.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -65,13 +70,24 @@ func (t Time) String() string {
 // generation-stamped handle that stays safe (Cancel becomes a no-op,
 // Cancelled reports false) after the node has been reused.
 type Event struct {
-	At   Time
+	// Ordering and queue-bookkeeping fields first: the queue's scan and
+	// unlink paths touch only this 40-byte prefix, so it stays in one
+	// cache line per node.
+	At    Time
+	seq   uint64
+	index int   // position within the queue's container; -1 once popped, -2 once cancelled
+	babs  int64 // queue-private location tag (calendar: absolute bucket; ladder: tier)
+	gen   uint64
+
 	Do   func(*Engine)
 	Name string // optional label for tracing
 
-	seq   uint64
-	index int // heap index; -1 once popped, -2 once cancelled
-	gen   uint64
+	// do2/arg is the closure-free callback form (AtCall/AfterCall): a
+	// long-lived func value plus a per-fire argument (a pointer boxes into
+	// the interface without allocating). Exactly one of Do and do2 is set
+	// on a scheduled node.
+	do2 func(*Engine, any)
+	arg any
 }
 
 // EventRef is a handle to one scheduled instance of an event. The zero
@@ -98,39 +114,67 @@ func (r EventRef) Cancelled() bool {
 	return r.ev != nil && r.ev.gen == r.gen && r.ev.index == -2
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// eventLess is the engine-wide total order: (At, seq).
+func eventLess(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// eventQueue is the pluggable priority structure behind the engine. Every
+// implementation must pop in exact (At, seq) order and support O(~1)
+// removal of an arbitrary pending node (Cancel).
+type eventQueue interface {
+	// push inserts a node. The queue owns ev.index (and may use ev.babs)
+	// to remember the node's location until it is popped or removed.
+	push(ev *Event)
+	// popLE removes and returns the minimum node if its At is <= until,
+	// else returns nil and leaves the queue unchanged. Callable on an
+	// empty queue (returns nil): the engine's fire loop distinguishes the
+	// two nil cases with one len() call on the cold path.
+	popLE(until Time) *Event
+	// remove deletes a pending node (Cancel path).
+	remove(ev *Event)
+	// len returns the number of pending nodes.
+	len() int
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// QueueKind selects the event-queue implementation behind an Engine.
+type QueueKind int
+
+const (
+	// QueueCalendar is a Brown-style dynamic calendar queue: O(1)
+	// amortized schedule/fire at any queue size. The default.
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the original container/heap binary heap — the
+	// reference implementation the others are property-tested against.
+	QueueHeap
+	// QueueLadder is a two-tier ladder queue (sorted bottom rung fed
+	// from an unsorted overflow tier) kept for benchmarking.
+	QueueLadder
+)
+
+// QueueKinds lists every available queue implementation.
+func QueueKinds() []QueueKind { return []QueueKind{QueueCalendar, QueueHeap, QueueLadder} }
+
+// String names the queue kind.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueCalendar:
+		return "calendar"
+	case QueueHeap:
+		return "heap"
+	case QueueLadder:
+		return "ladder"
+	}
+	return fmt.Sprintf("QueueKind(%d)", int(k))
 }
 
 // Engine is the event loop. The zero value is not usable; call NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	q       eventQueue
 	seq     uint64
 	stopped bool
 	fired   uint64
@@ -147,9 +191,26 @@ type Engine struct {
 	Trace func(at Time, name string)
 }
 
-// NewEngine returns an empty engine at time zero.
+// NewEngine returns an empty engine at time zero backed by the default
+// queue (calendar — the benchmark winner; see queue_bench_test.go).
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineWithQueue(QueueCalendar)
+}
+
+// NewEngineWithQueue returns an empty engine backed by the given queue
+// implementation. All kinds obey the identical ordering contract; non-
+// default kinds exist for differential testing and benchmarking.
+func NewEngineWithQueue(k QueueKind) *Engine {
+	e := &Engine{}
+	switch k {
+	case QueueHeap:
+		e.q = &heapQueue{}
+	case QueueLadder:
+		e.q = newLadderQueue()
+	default:
+		e.q = newCalendarQueue()
+	}
+	return e
 }
 
 // Now returns the current virtual time.
@@ -159,13 +220,11 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.q.len() }
 
-// At schedules fn to run at absolute time at. Scheduling in the past (or at
-// the present instant) fires the event at the current time but after all
-// currently pending events at that time. It returns a ref so the caller
-// can cancel the event.
-func (e *Engine) At(at Time, name string, fn func(*Engine)) EventRef {
+// schedule pulls a node off the freelist (or allocates one) and stamps it
+// with a fresh sequence number. The caller fills the callback and pushes.
+func (e *Engine) schedule(at Time, name string) *Event {
 	if at < e.now {
 		at = e.now
 	}
@@ -178,9 +237,19 @@ func (e *Engine) At(at Time, name string, fn func(*Engine)) EventRef {
 	} else {
 		ev = &Event{}
 	}
-	ev.At, ev.Do, ev.Name, ev.seq = at, fn, name, e.seq
+	ev.At, ev.Name, ev.seq = at, name, e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past (or at
+// the present instant) fires the event at the current time but after all
+// currently pending events at that time. It returns a ref so the caller
+// can cancel the event.
+func (e *Engine) At(at Time, name string, fn func(*Engine)) EventRef {
+	ev := e.schedule(at, name)
+	ev.Do = fn
+	e.q.push(ev)
 	return EventRef{ev: ev, gen: ev.gen}
 }
 
@@ -192,6 +261,26 @@ func (e *Engine) After(d Duration, name string, fn func(*Engine)) EventRef {
 	return e.At(e.now+d, name, fn)
 }
 
+// AtCall schedules the closure-free callback form: fn is a long-lived func
+// value (typically bound once per worker/core/generator) and arg the
+// per-fire argument (typically a pointer, which boxes into the interface
+// without allocating). Hot paths use it to schedule without creating a
+// closure per event.
+func (e *Engine) AtCall(at Time, name string, fn func(*Engine, any), arg any) EventRef {
+	ev := e.schedule(at, name)
+	ev.do2, ev.arg = fn, arg
+	e.q.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// AfterCall is AtCall relative to the current time.
+func (e *Engine) AfterCall(d Duration, name string, fn func(*Engine, any), arg any) EventRef {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtCall(e.now+d, name, fn, arg)
+}
+
 // Cancel removes a scheduled event. Cancelling a zero ref, an
 // already-fired, an already-cancelled, or a stale (recycled-node) ref is a
 // no-op — a ref can only ever cancel the exact instance it was created
@@ -201,9 +290,9 @@ func (e *Engine) Cancel(ref EventRef) {
 	if ev == nil || ev.gen != ref.gen || ev.index < 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
+	e.q.remove(ev)
 	ev.index = -2
-	ev.Do, ev.Name = nil, "" // drop closure references for GC
+	ev.Do, ev.do2, ev.arg, ev.Name = nil, nil, nil, "" // drop callback references for GC
 	e.free = append(e.free, ev)
 }
 
@@ -215,28 +304,36 @@ func (e *Engine) Stop() { e.stopped = true }
 // It returns the virtual time at which it stopped.
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.At > until {
-			e.now = until
+	for !e.stopped {
+		next := e.q.popLE(until)
+		if next == nil {
+			if e.q.len() > 0 {
+				// Pending events exist but the earliest is past until.
+				// This branch runs even when until < now: the caller
+				// rewound the clock, and future At/After calls clamp to
+				// the rewound time.
+				e.now = until
+			} else if e.now < until && !math.IsInf(float64(until), 1) {
+				e.now = until
+			}
 			return e.now
 		}
-		heap.Pop(&e.queue)
 		e.now = next.At
 		e.fired++
 		if e.Trace != nil {
 			e.Trace(e.now, next.Name)
 		}
-		do := next.Do
+		do, do2, arg := next.Do, next.do2, next.arg
 		// Recycle before running the callback: a nested After can reuse
 		// the still-hot node immediately. Refs to the fired instance stay
 		// safe via the generation stamp.
-		next.Do, next.Name = nil, ""
+		next.Do, next.do2, next.arg, next.Name = nil, nil, nil, ""
 		e.free = append(e.free, next)
-		do(e)
-	}
-	if e.now < until && !e.stopped && !math.IsInf(float64(until), 1) {
-		e.now = until
+		if do != nil {
+			do(e)
+		} else {
+			do2(e, arg)
+		}
 	}
 	return e.now
 }

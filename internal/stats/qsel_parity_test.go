@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortPercentile(xs []float64, p float64) float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+func TestQuickselectParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			switch rng.Intn(3) {
+			case 0:
+				xs[i] = rng.Float64()
+			case 1:
+				xs[i] = float64(rng.Intn(5))
+			default:
+				xs[i] = rng.NormFloat64() * 100
+			}
+		}
+		p := rng.Float64()*110 - 5
+		want := sortPercentile(xs, p)
+		got := Percentile(xs, p)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("trial %d n=%d p=%v: got %v want %v xs=%v", trial, n, p, got, want, xs)
+		}
+	}
+}

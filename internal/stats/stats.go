@@ -185,10 +185,82 @@ func RMSE(observed, predicted []float64) (float64, error) {
 // interpolation between closest ranks. xs need not be sorted; it is not
 // modified. It panics on an empty slice.
 func Percentile(xs []float64, p float64) float64 {
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	return PercentileSorted(sorted, p)
+	scratch := make([]float64, len(xs))
+	copy(scratch, xs)
+	return PercentileInPlace(scratch, p)
+}
+
+// PercentileInPlace is Percentile without the defensive copy: it permutes
+// xs (partial quickselect ordering) instead of sorting a duplicate, which
+// makes it O(n) and allocation-free — the form the QoS′ monitor calls once
+// per tick on its sample window. The returned value is bit-identical to
+// Percentile's: selection produces the same order statistics a full sort
+// would.
+func PercentileInPlace(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	if p <= 0 {
+		return Min(xs)
+	}
+	if p >= 100 {
+		return Max(xs)
+	}
+	rank := p / 100 * float64(len(xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	vlo := selectKth(xs, lo)
+	if lo == hi {
+		return vlo
+	}
+	// After selectKth, everything right of lo is >= xs[lo]; the next order
+	// statistic is that suffix's minimum.
+	vhi := Min(xs[lo+1:])
+	frac := rank - float64(lo)
+	return vlo*(1-frac) + vhi*frac
+}
+
+// selectKth partitions a (Hoare scheme, median-of-three pivot) so that
+// a[k] holds the value it would have after an ascending sort, everything
+// before it is <=, and everything after is >=; it returns a[k].
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		p := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return a[k]
+		}
+	}
+	return a[k]
 }
 
 // PercentileSorted is Percentile for an already ascending-sorted slice.

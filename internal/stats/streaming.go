@@ -1,9 +1,6 @@
 package stats
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Running accumulates mean and variance incrementally using Welford's
 // algorithm. The zero value is ready to use.
@@ -116,6 +113,18 @@ func (t *LatencyTracker) WindowPercentile(p float64) (float64, bool) {
 // ResetWindow clears the sliding window but keeps cumulative state.
 func (t *LatencyTracker) ResetWindow() { t.window = t.window[:0] }
 
+// ReserveAll pre-grows the keepAll buffer to hold n samples, sparing the
+// append-doubling reallocations when the caller can estimate the sample
+// count up front. Capacity only — retained samples are untouched.
+func (t *LatencyTracker) ReserveAll(n int) {
+	if !t.keepAll || cap(t.all) >= n {
+		return
+	}
+	grown := make([]float64, len(t.all), n)
+	copy(grown, t.all)
+	t.all = grown
+}
+
 // Percentile returns the p-th percentile over all retained samples. It
 // requires keepAll; otherwise it falls back to the window.
 func (t *LatencyTracker) Percentile(p float64) (float64, bool) {
@@ -148,12 +157,16 @@ func (t *LatencyTracker) Quantiles(qs ...float64) []float64 {
 	if len(src) == 0 {
 		return make([]float64, len(qs))
 	}
-	sorted := make([]float64, len(src))
-	copy(sorted, src)
-	sort.Float64s(sorted)
+	// Quickselect per quantile instead of one full sort: selection yields
+	// the same order statistics a sort would (so the results are
+	// bit-identical), and for the handful of quantiles reported it is O(n)
+	// per quantile against O(n log n) once. The scratch copy may be
+	// permuted between calls; order statistics are permutation-invariant.
+	scratch := make([]float64, len(src))
+	copy(scratch, src)
 	out := make([]float64, len(qs))
 	for i, q := range qs {
-		out[i] = PercentileSorted(sorted, q*100)
+		out[i] = PercentileInPlace(scratch, q*100)
 	}
 	return out
 }

@@ -33,15 +33,19 @@ func (masstree) FeatureSpecs() []FeatureSpec {
 }
 
 func (m masstree) Generate(rng *rand.Rand) *Request {
+	r := &Request{}
+	m.GenerateInto(r, rng)
+	return r
+}
+
+func (m masstree) GenerateInto(r *Request, rng *rand.Rand) {
 	op := float64(rng.Intn(2))
 	keyLen := float64(8 + rng.Intn(56))
 	base := 0.40 * sim.Millisecond * sim.Duration(lognorm(rng, 0.05))
-	return &Request{
-		App:         m.Name(),
-		Features:    []float64{op, keyLen},
-		ServiceBase: clampDur(base, 50*sim.Microsecond),
-		ComputeFrac: 0.45,
-	}
+	r.App = m.Name()
+	r.Features = append(r.Features[:0], op, keyLen)
+	r.ServiceBase = clampDur(base, 50*sim.Microsecond)
+	r.ComputeFrac = 0.45
 }
 
 // ---------------------------------------------------------------------------
@@ -63,14 +67,18 @@ func (imgdnn) FeatureSpecs() []FeatureSpec {
 }
 
 func (a imgdnn) Generate(rng *rand.Rand) *Request {
+	r := &Request{}
+	a.GenerateInto(r, rng)
+	return r
+}
+
+func (a imgdnn) GenerateInto(r *Request, rng *rand.Rand) {
 	imgBytes := float64(784 + rng.Intn(16)) // MNIST-like, essentially constant
 	base := 2.6 * sim.Millisecond * sim.Duration(lognorm(rng, 0.03))
-	return &Request{
-		App:         a.Name(),
-		Features:    []float64{imgBytes},
-		ServiceBase: clampDur(base, 1*sim.Millisecond),
-		ComputeFrac: 0.95,
-	}
+	r.App = a.Name()
+	r.Features = append(r.Features[:0], imgBytes)
+	r.ServiceBase = clampDur(base, 1*sim.Millisecond)
+	r.ComputeFrac = 0.95
 }
 
 // ---------------------------------------------------------------------------
@@ -97,17 +105,21 @@ func (moses) FeatureSpecs() []FeatureSpec {
 }
 
 func (a moses) Generate(rng *rand.Rand) *Request {
+	r := &Request{}
+	a.GenerateInto(r, rng)
+	return r
+}
+
+func (a moses) GenerateInto(r *Request, rng *rand.Rand) {
 	words := 1 + rng.Intn(40)
 	// Characters dominated by per-word length variance: w·U(1,9) plus a
 	// heavy independent tail.
 	chars := float64(words)*(1+rng.Float64()*8) + rng.Float64()*260
 	base := sim.Duration(1.8+0.58*float64(words)) * sim.Millisecond * sim.Duration(lognorm(rng, 0.04))
-	return &Request{
-		App:         a.Name(),
-		Features:    []float64{math.Round(chars), float64(words)},
-		ServiceBase: clampDur(base, 500*sim.Microsecond),
-		ComputeFrac: 0.80,
-	}
+	r.App = a.Name()
+	r.Features = append(r.Features[:0], math.Round(chars), float64(words))
+	r.ServiceBase = clampDur(base, 500*sim.Microsecond)
+	r.ComputeFrac = 0.80
 }
 
 // ---------------------------------------------------------------------------
@@ -131,15 +143,19 @@ func (sphinx) FeatureSpecs() []FeatureSpec {
 }
 
 func (a sphinx) Generate(rng *rand.Rand) *Request {
+	r := &Request{}
+	a.GenerateInto(r, rng)
+	return r
+}
+
+func (a sphinx) GenerateInto(r *Request, rng *rand.Rand) {
 	pathLen := float64(12 + rng.Intn(110))
 	audioMB := 0.2 + rng.Float64()*1.8
 	base := sim.Duration(audioMB*1.05) * sim.Second * sim.Duration(lognorm(rng, 0.06))
-	return &Request{
-		App:         a.Name(),
-		Features:    []float64{pathLen, audioMB, float64(rng.Intn(8))},
-		ServiceBase: clampDur(base, 50*sim.Millisecond),
-		ComputeFrac: 0.90,
-	}
+	r.App = a.Name()
+	r.Features = append(r.Features[:0], pathLen, audioMB, float64(rng.Intn(8)))
+	r.ServiceBase = clampDur(base, 50*sim.Millisecond)
+	r.ComputeFrac = 0.90
 }
 
 // ---------------------------------------------------------------------------
@@ -174,17 +190,21 @@ func XapianServiceMs(docCount float64) float64 {
 }
 
 func (a xapian) Generate(rng *rand.Rand) *Request {
+	r := &Request{}
+	a.GenerateInto(r, rng)
+	return r
+}
+
+func (a xapian) GenerateInto(r *Request, rng *rand.Rand) {
 	queryChars := float64(3 + rng.Intn(60))
 	u := rng.Float64()
 	docs := math.Floor(600 * u * u) // skewed toward few matches
 	base := sim.Duration(XapianServiceMs(docs)) * sim.Millisecond * sim.Duration(lognorm(rng, 0.04))
 	sortedBytes := docs*96 + float64(rng.Intn(64))
-	return &Request{
-		App:         a.Name(),
-		Features:    []float64{queryChars, docs, sortedBytes},
-		ServiceBase: clampDur(base, 200*sim.Microsecond),
-		ComputeFrac: 0.70,
-	}
+	r.App = a.Name()
+	r.Features = append(r.Features[:0], queryChars, docs, sortedBytes)
+	r.ServiceBase = clampDur(base, 200*sim.Microsecond)
+	r.ComputeFrac = 0.70
 }
 
 // ---------------------------------------------------------------------------
@@ -269,6 +289,12 @@ func (o *oltp) FeatureSpecs() []FeatureSpec {
 }
 
 func (o *oltp) Generate(rng *rand.Rand) *Request {
+	r := &Request{}
+	o.GenerateInto(r, rng)
+	return r
+}
+
+func (o *oltp) GenerateInto(r *Request, rng *rand.Rand) {
 	// TPC-C §5.2.3 mix, folded onto the four types the paper plots.
 	var tx int
 	switch p := rng.Float64(); {
@@ -301,12 +327,10 @@ func (o *oltp) Generate(rng *rand.Rand) *Request {
 		base = o.slBase + o.slPerDistinct*distinct
 	}
 	base *= lognorm(rng, 0.04)
-	return &Request{
-		App:         o.name,
-		Features:    []float64{float64(tx), items, rollback, distinct},
-		ServiceBase: clampDur(sim.Duration(base), 10*sim.Microsecond),
-		ComputeFrac: o.computeFrac,
-	}
+	r.App = o.name
+	r.Features = append(r.Features[:0], float64(tx), items, rollback, distinct)
+	r.ServiceBase = clampDur(sim.Duration(base), 10*sim.Microsecond)
+	r.ComputeFrac = o.computeFrac
 }
 
 // ---------------------------------------------------------------------------

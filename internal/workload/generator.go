@@ -20,12 +20,25 @@ type Generator struct {
 	// Sink receives each request at its arrival time.
 	Sink func(e *sim.Engine, r *Request)
 
+	// Pool, when set, supplies recycled Request nodes for apps that
+	// implement InPlaceGenerator; the sink's owner returns finished
+	// requests with Pool.Put. Requests then carry identical values to the
+	// allocate-per-request path (the RNG call sequence is shared), so
+	// enabling a pool never changes simulation results — only allocation
+	// counts. Apps without GenerateInto fall back to Generate.
+	Pool *RequestPool
+
+	inPlace InPlaceGenerator // App's fast path, resolved once
+	arrive  func(*sim.Engine, any)
 	stopped bool
 }
 
 // NewGenerator returns a generator with its own deterministic RNG stream.
 func NewGenerator(app App, rps float64, seed int64, sink func(*sim.Engine, *Request)) *Generator {
-	return &Generator{App: app, RPS: rps, rng: rand.New(rand.NewSource(seed)), Sink: sink}
+	g := &Generator{App: app, RPS: rps, rng: rand.New(rand.NewSource(seed)), Sink: sink}
+	g.inPlace, _ = app.(InPlaceGenerator)
+	g.arrive = func(en *sim.Engine, _ any) { g.onArrival(en) }
+	return g
 }
 
 // Start schedules the first arrival. Arrivals continue until Stop or until
@@ -45,19 +58,27 @@ func (g *Generator) scheduleNext(e *sim.Engine) {
 		return
 	}
 	gap := sim.Duration(g.rng.ExpFloat64() / g.RPS)
-	e.After(gap, "workload.arrival", func(en *sim.Engine) {
-		if g.stopped {
-			return
-		}
-		r := g.App.Generate(g.rng)
-		r.ID = g.next
-		g.next++
-		r.Gen = en.Now()
-		if g.Sink != nil {
-			g.Sink(en, r)
-		}
-		g.scheduleNext(en)
-	})
+	e.AfterCall(gap, "workload.arrival", g.arrive, nil)
+}
+
+func (g *Generator) onArrival(en *sim.Engine) {
+	if g.stopped {
+		return
+	}
+	var r *Request
+	if g.Pool != nil && g.inPlace != nil {
+		r = g.Pool.Get()
+		g.inPlace.GenerateInto(r, g.rng)
+	} else {
+		r = g.App.Generate(g.rng)
+	}
+	r.ID = g.next
+	g.next++
+	r.Gen = en.Now()
+	if g.Sink != nil {
+		g.Sink(en, r)
+	}
+	g.scheduleNext(en)
 }
 
 // ---------------------------------------------------------------------------
@@ -75,8 +96,16 @@ func MeanServiceAtMax(a App) float64 {
 	rng := rand.New(rand.NewSource(0x5eed))
 	const n = 8192
 	total := 0.0
-	for i := 0; i < n; i++ {
-		total += float64(a.Generate(rng).ServiceBase)
+	if ip, ok := a.(InPlaceGenerator); ok {
+		var r Request
+		for i := 0; i < n; i++ {
+			ip.GenerateInto(&r, rng)
+			total += float64(r.ServiceBase)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			total += float64(a.Generate(rng).ServiceBase)
+		}
 	}
 	mean := total / n
 	meanServiceCache.Store(a.Name(), mean)

@@ -152,6 +152,49 @@ type App interface {
 	Generate(rng *rand.Rand) *Request
 }
 
+// InPlaceGenerator is the allocation-free generation fast path: apps that
+// implement it fill a recycled Request instead of allocating one. The
+// contract mirrors Generate exactly — same RNG call sequence, same field
+// values — so a pooled and an unpooled run of the same seed produce
+// identical request streams. GenerateInto must overwrite every field it
+// owns (App, Features, ServiceBase, ComputeFrac) and reuse the Features
+// backing via append(r.Features[:0], ...); the pool zeroes the rest.
+type InPlaceGenerator interface {
+	GenerateInto(r *Request, rng *rand.Rand)
+}
+
+// RequestPool recycles Request nodes through a free list. It is
+// single-goroutine by design (the simulator is single-threaded per
+// engine); each engine owns its own pool. Put must only be called once
+// the request is fully retired — after every sink and hook has run —
+// and nothing may retain the pointer or the Features slice past that
+// point (predict.TrainingSet copies features for exactly this reason).
+type RequestPool struct {
+	free []*Request
+}
+
+// Get returns a zeroed request, reusing a retired node's allocation
+// (including its Features backing array) when one is available.
+func (p *RequestPool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		feats := r.Features
+		*r = Request{Features: feats[:0]}
+		return r
+	}
+	return &Request{}
+}
+
+// Put returns a retired request to the pool.
+func (p *RequestPool) Put(r *Request) {
+	if r == nil {
+		return
+	}
+	p.free = append(p.free, r)
+}
+
 // FeatureIndex returns the index of the named feature in an app's specs,
 // or -1 when absent.
 func FeatureIndex(a App, name string) int {
