@@ -22,6 +22,12 @@
 #   make cluster-check   fleet sweep determinism: dispatcher streams, fleet
 #                        runs, sweep table vs golden + multi-seed SHA-256
 #   make cluster-golden  rewrite the fleet sweep goldens
+#   make obs-check       observability plane: seeded report vs committed
+#                        golden (byte-stable modulo provenance), ledger
+#                        reconciliation + pure-observer pins, zero-alloc
+#                        decide with ledger, scrape-under-sweep race,
+#                        BENCH_history.jsonl schema validation
+#   make obs-golden      rewrite the report golden after an intentional change
 #   make smoke   build-and-run every example and command briefly
 #   make check   build + vet + test (the pre-commit bundle)
 
@@ -42,7 +48,7 @@ GO ?= go
 HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep|Cluster)'
 HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments ./internal/cluster
 
-.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden parity-check parity-golden cluster-check cluster-golden smoke check clean
+.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden parity-check parity-golden cluster-check cluster-golden obs-check obs-golden smoke check clean
 
 build:
 	$(GO) build ./...
@@ -113,6 +119,21 @@ cluster-check:
 
 cluster-golden:
 	$(GO) test -run 'TestFleetSweep(Golden|MultiSeedSHA)' -count=1 ./internal/experiments -update
+
+# The observability plane's gate (DESIGN.md §12): a seeded fleet sweep's
+# canonical report must match the committed golden byte-for-byte
+# (provenance masked), every joule and violation must reconcile between
+# ledger and fleet result, attribution must stay a zero-alloc pure
+# observer, /metrics and /debug/fleet must survive concurrent scrapes
+# mid-sweep under -race, and the append-only benchmark history must
+# parse against the benchjson baseline schema.
+obs-check:
+	$(GO) test -count=1 -run 'TestFleetReportGolden|TestFleetLedger|TestEnergyByLevelReconciles|TestRetailDecideZeroAllocWithLedger' ./internal/experiments ./internal/cluster ./internal/cpu ./internal/manager
+	$(GO) test -race -count=1 -run 'TestMetricsScrapeDuringFleetSweep' ./internal/experiments
+	$(GO) test -count=1 -run 'TestBenchHistorySchema|TestHistogramHDREquivalence|TestLogLinear' ./cmd/benchjson ./internal/telemetry ./internal/stats
+
+obs-golden:
+	$(GO) test -run TestFleetReportGolden -count=1 ./internal/experiments -update
 
 smoke:
 	$(GO) test -run TestSmoke -v .

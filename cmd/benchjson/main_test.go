@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sample = `goos: linux
@@ -128,5 +130,67 @@ func TestAppendHistory(t *testing.T) {
 	}
 	if b.Time != "" {
 		t.Fatal("appendHistory mutated the caller's document")
+	}
+}
+
+// TestBenchHistorySchema validates every committed line of the
+// append-only results/BENCH_history.jsonl against the baseline shape:
+// strict JSON (no unknown fields), full provenance, RFC3339 timestamps
+// and finite, non-negative benchmark points. The history is the
+// repo's performance trajectory; a malformed append would silently
+// poison every future cross-commit comparison.
+func TestBenchHistorySchema(t *testing.T) {
+	path := filepath.Join("..", "..", "results", "BENCH_history.jsonl")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Skipf("no history file: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			t.Fatalf("line %d: blank line in append-only history", n)
+		}
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		var b baseline
+		if err := dec.Decode(&b); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if dec.More() {
+			t.Fatalf("line %d: trailing data after the JSON document", n)
+		}
+		for field, v := range map[string]string{
+			"goos": b.Goos, "goarch": b.Goarch, "go": b.GoVersion,
+			"commit": b.Commit, "time": b.Time,
+		} {
+			if v == "" {
+				t.Errorf("line %d: missing %s", n, field)
+			}
+		}
+		if _, err := time.Parse(time.RFC3339, b.Time); b.Time != "" && err != nil {
+			t.Errorf("line %d: bad time %q: %v", n, b.Time, err)
+		}
+		if len(b.Benchmarks) == 0 {
+			t.Errorf("line %d: no benchmarks", n)
+		}
+		for name, p := range b.Benchmarks {
+			if p.NsPerOp <= 0 || math.IsNaN(p.NsPerOp) || math.IsInf(p.NsPerOp, 0) {
+				t.Errorf("line %d: %s has non-positive ns/op %v", n, name, p.NsPerOp)
+			}
+			if p.BytesPerOp < 0 || p.AllocsPerOp < 0 {
+				t.Errorf("line %d: %s has negative memory stats", n, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("history file exists but is empty")
 	}
 }

@@ -11,6 +11,7 @@
 //	retail-cluster -csv out/                      # raw grid CSV
 //	retail-cluster -metrics-out metrics.prom      # telemetry snapshot of the last cell
 //	retail-cluster -tiers xapian,silo             # multi-tier budget allocation report
+//	retail-cluster -quick -report report.json     # versioned run report with per-node energy×QoS ledger
 //
 // The default run drives ≥1M requests: 16 cells (4 dispatchers × 4 node
 // policies) × 70000 requests each. Output is deterministic — byte-identical
@@ -30,6 +31,7 @@ import (
 	"retail/internal/core"
 	"retail/internal/experiments"
 	"retail/internal/nn"
+	"retail/internal/obs"
 	"retail/internal/sim"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
@@ -52,6 +54,7 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "file for a telemetry snapshot of the last cell re-run with per-node series")
 		tiers       = flag.String("tiers", "", "comma-separated apps: print the multi-tier budget allocation report instead of sweeping")
 		samples     = flag.Int("budget-samples", 0, "profiling draw per tier for -tiers (0 = allocator default)")
+		report      = flag.String("report", "", "file for the versioned obs run report (attaches per-node energy×QoS ledgers and a telemetry registry to every cell)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,14 @@ func main() {
 	}
 	if *policies != "" {
 		opt.Policies = strings.Split(*policies, ",")
+	}
+	var reg *telemetry.Registry
+	if *report != "" {
+		// A report wants full attribution: ledgers on every node and a
+		// registry for the fleet roll-up.
+		opt.Ledger = true
+		reg = telemetry.NewRegistry()
+		opt.Registry = reg
 	}
 
 	res, err := experiments.FleetSweep(cfg, opt)
@@ -126,6 +137,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+	if *report != "" {
+		rep := res.Report(*seed, obs.RollupRegistry(reg))
+		if err := rep.WriteFile(*report); err != nil {
+			fmt.Fprintln(os.Stderr, "retail-cluster:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (report v%d, config %s)\n", *report, rep.Version, rep.ConfigHash)
 	}
 }
 

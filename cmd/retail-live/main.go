@@ -32,6 +32,7 @@ import (
 	"retail/internal/cpu"
 	"retail/internal/fault"
 	"retail/internal/live"
+	"retail/internal/obs"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
 )
@@ -133,9 +134,16 @@ func main() {
 	srv.Start()
 	defer srv.Close()
 	if reg != nil {
+		// Fold Go runtime health (goroutines, heap, GC pause and scheduler
+		// latency tails) into the same registry the request metrics live in,
+		// so one scrape separates runtime-induced tail spikes from policy.
+		sampler := obs.StartRuntimeSampler(reg, time.Second)
+		defer sampler.Stop()
 		// One port hosts both the Prometheus exposition and the runtime's
 		// introspection endpoints: /debug/trace (decision-attributed flight
-		// ring) and /debug/pprof/* (live CPU/heap profiles).
+		// ring), /debug/fleet (per-app telemetry roll-up) and /debug/pprof/*
+		// (live CPU/heap profiles, with retail=decide / retail=ingress labels
+		// splitting the two hot paths).
 		mux := http.NewServeMux()
 		mux.Handle("/debug/", srv.DebugHandler())
 		mux.Handle("/", reg.Handler())
@@ -144,7 +152,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer ms.Close()
-		log.Printf("metrics on http://%s/metrics (health: /healthz, trace: /debug/trace, profiles: /debug/pprof/)", ms.Addr())
+		log.Printf("metrics on http://%s/metrics (health: /healthz, trace: /debug/trace, fleet: /debug/fleet, profiles: /debug/pprof/)", ms.Addr())
 	}
 	if *rps == 0 {
 		// Serve-only: no built-in client — an external generator (e.g.

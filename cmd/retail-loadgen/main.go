@@ -25,6 +25,7 @@ import (
 
 	"retail/internal/cpu"
 	"retail/internal/live"
+	"retail/internal/obs"
 	"retail/internal/workload"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		drain    = flag.Duration("drain", 2*time.Second, "wait for in-flight responses after the window")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		selfhost = flag.Bool("selfhost", false, "start an in-process no-op server and load it over loopback")
+		report   = flag.String("report", "", "file for the versioned obs run report")
 	)
 	flag.Parse()
 
@@ -86,6 +88,33 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(res.Report())
+
+	if *report != "" {
+		q := func(p float64) float64 { return time.Duration(res.Latency.Quantile(p)).Seconds() }
+		rep := obs.NewReport("loadgen", *seed, obs.HashConfig("loadgen", app.Name(),
+			*rps, *conns, duration.String()))
+		rep.Loadgen = &obs.LoadgenReport{
+			App: app.Name(), Addr: target, Conns: *conns,
+			Duration:   duration.Seconds(),
+			Sent:       res.Sent,
+			Completed:  res.Completed,
+			Dropped:    res.Dropped,
+			Unanswered: res.Unanswered,
+			OfferedRPS: res.OfferedRPS,
+			SentRPS:    res.SentRPS,
+			ElapsedS:   res.Elapsed.Seconds(),
+			LatencyS: obs.LatencyQuantiles{
+				Min: time.Duration(res.Latency.Min()).Seconds(),
+				P50: q(0.50), P90: q(0.90), P99: q(0.99),
+				P999: q(0.999), P9999: q(0.9999),
+				Max: time.Duration(res.Latency.Max()).Seconds(),
+			},
+		}
+		if err := rep.WriteFile(*report); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report      %s (v%d, config %s)\n", *report, rep.Version, rep.ConfigHash)
+	}
 }
 
 // flatPredictor is the selfhost stand-in for a trained model: a constant

@@ -23,6 +23,7 @@ import (
 	"retail/internal/experiments"
 	"retail/internal/manager"
 	"retail/internal/nn"
+	"retail/internal/obs"
 	"retail/internal/server"
 	"retail/internal/sim"
 	"retail/internal/telemetry"
@@ -47,6 +48,7 @@ func main() {
 		traceCap   = flag.Int("trace-cap", 0, "flight-recorder ring capacity per class (0 = default 4096)")
 		traceEvery = flag.Int("trace-sample", 1, "keep 1 of every N ordinary spans (violations/drops/p99 always kept)")
 		metrics    = flag.Bool("metrics", false, "attach the telemetry registry and print a Prometheus text summary after the run")
+		reportPath = flag.String("report", "", "file for the versioned obs run report (attaches the energy×QoS attribution ledger)")
 	)
 	flag.Parse()
 
@@ -94,11 +96,18 @@ func main() {
 		log.Fatalf("unknown manager %q", *mgrName)
 	}
 
+	dur := sim.Duration(*duration)
+	if dur <= 0 {
+		dur = core.RecommendedDuration(app, rate)
+	}
+
 	// Optional observers, installed through the core.Run instrument hook so
 	// they wrap the manager's hooks chain after Attach.
 	var (
 		flight *trace.FlightRecorder
 		reg    *telemetry.Registry
+		led    *obs.NodeLedger
+		srvRef *server.Server
 	)
 	if *tracePath != "" {
 		flight = trace.NewFlightRecorder(trace.FlightRecorderConfig{
@@ -109,13 +118,30 @@ func main() {
 		reg = telemetry.NewRegistry()
 	}
 	instrument := func(e *sim.Engine, s *server.Server) {
+		srvRef = s
 		if flight != nil {
 			flight.Attach(s)
+		}
+		if *reportPath != "" {
+			led = obs.AttachLedger(s, app.QoS())
+			// Reset in the same virtual instant core.Run resets energy, so
+			// ledger counts and socket joules share the measurement epoch.
+			lr := led
+			e.At(dur/5, "obs.ledger.reset", func(*sim.Engine) { lr.Reset() })
+		}
+		var fs, ls server.DecisionSink
+		if flight != nil {
+			fs = flight
+		}
+		if led != nil {
+			ls = led
+		}
+		if sink := obs.TeeDecisionSink(fs, ls); sink != nil {
 			if ds, ok := m.(interface {
 				SetDecisionSink(server.DecisionSink)
 			}); ok {
-				ds.SetDecisionSink(flight)
-			} else {
+				ds.SetDecisionSink(sink)
+			} else if flight != nil {
 				log.Printf("note: manager %q emits no decision attribution; trace will carry lifecycle spans only", m.Name())
 			}
 		}
@@ -125,11 +151,6 @@ func main() {
 				rt.Instrument(reg, app.Name())
 			}
 		}
-	}
-
-	dur := sim.Duration(*duration)
-	if dur <= 0 {
-		dur = core.RecommendedDuration(app, rate)
 	}
 	res, err := core.Run(core.RunConfig{
 		App: app, Platform: platform, Manager: m,
@@ -174,6 +195,27 @@ transitions  %d frequency changes
 		if err := reg.WriteText(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *reportPath != "" {
+		end := dur/5 + dur
+		ns := led.Summary(res.App, 0, srvRef.Socket.EnergyByLevel(end), srvRef.Socket.UncoreJoules(end))
+		rep := obs.NewReport("sim", *seed, obs.HashConfig("sim", res.App, res.Manager,
+			*workers, rate, float64(dur), *samples))
+		rep.Sim = &obs.SimReport{
+			App: res.App, Manager: res.Manager,
+			RPS: res.RPS, Duration: float64(dur),
+			Completed: res.Completed, Dropped: res.Dropped,
+			Violations: int(ns.Violations()), QoSMet: res.QoSMet,
+			MeanLatency: res.MeanLatency,
+			P50:         res.P50, P95: res.P95, P99: res.P99,
+			TailAtQoS: res.TailAtQoSPct,
+			EnergyJ:   res.EnergyJ, AvgPowerW: res.AvgPowerW,
+			Ledger: []obs.NodeSummary{ns},
+		}
+		if err := rep.WriteFile(*reportPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report       %s (v%d, config %s)\n", *reportPath, rep.Version, rep.ConfigHash)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"retail/internal/core"
 	"retail/internal/manager"
 	"retail/internal/nn"
+	"retail/internal/obs"
 	"retail/internal/policy"
 	"retail/internal/server"
 	"retail/internal/sim"
@@ -63,6 +64,13 @@ type FleetConfig struct {
 	// plus any extra Labels (e.g. dispatcher=…, policy=… per sweep cell).
 	Registry *telemetry.Registry
 	Labels   []telemetry.Label
+
+	// Ledger attaches an obs.NodeLedger to every node and fills
+	// FleetResult.Ledger with per-node energy×QoS attribution over the
+	// measurement window. Off by default: the ledger is a pure observer,
+	// but the benchmarked hot path should not pay even observer costs
+	// unless a run asked for attribution.
+	Ledger bool
 }
 
 // NodeStats is one node's share of a fleet run's measurement window.
@@ -128,6 +136,12 @@ type FleetResult struct {
 	ImbalanceCV float64
 
 	PerNode []NodeStats
+
+	// Ledger holds per-node energy×QoS attribution (one entry per node,
+	// in node order) when FleetConfig.Ledger was set: every joule of
+	// EnergyJ lands in exactly one app × node × level cell (or the
+	// node's uncore bucket) and every violation carries a cause.
+	Ledger []obs.NodeSummary
 }
 
 // MeanServedLevel returns the fleet-wide completion-weighted mean level.
@@ -206,6 +220,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		ends sim.Time
 	}
 	nodes := make([]*node, cfg.Nodes)
+	var ledgers []*obs.NodeLedger
 	outstanding := make([]int, cfg.Nodes) // O(1) load probe per node
 	// Requests are pooled: the fleet's sinks are the end of every
 	// request's life (managers release their per-request state in their
@@ -244,6 +259,15 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 			labels := append(append([]telemetry.Label{},
 				cfg.Labels...), telemetry.L("node", strconv.Itoa(i)))
 			server.AttachTelemetryWith(n.srv, cfg.Registry, app.Name(), qos, labels...)
+		}
+		if cfg.Ledger {
+			led := obs.AttachLedger(n.srv, qos)
+			// Managers without a decision sink (EETL) still get energy and
+			// violation tallies; causes then use the no-decision fallback.
+			if ds, ok := mgr.(interface{ SetDecisionSink(server.DecisionSink) }); ok {
+				ds.SetDecisionSink(led)
+			}
+			ledgers = append(ledgers, led)
 		}
 		idx := i
 		n.srv.CompletedSink = func(en *sim.Engine, r *workload.Request) {
@@ -291,6 +315,11 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		for _, n := range nodes {
 			n.srv.Socket.ResetEnergy(en.Now())
 		}
+		// Same event, same epoch: ledger counts and socket joules cover
+		// exactly the measurement window, so they reconcile at the end.
+		for _, led := range ledgers {
+			led.Reset()
+		}
 	})
 	end := cfg.Warmup + cfg.Duration
 	e.Run(end)
@@ -307,9 +336,13 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		PlacementHash: hash,
 		Routed:        routed,
 	}
-	for _, n := range nodes {
+	for i, n := range nodes {
 		n.st.EnergyJ = n.srv.Socket.EnergyJoules(end)
 		n.st.AvgPowerW = n.srv.Socket.AveragePowerW(end)
+		if cfg.Ledger {
+			res.Ledger = append(res.Ledger, ledgers[i].Summary(app.Name(), i,
+				n.srv.Socket.EnergyByLevel(end), n.srv.Socket.UncoreJoules(end)))
+		}
 		if n.lat.Count() > 0 {
 			if p, ok := n.lat.Percentile(99); ok {
 				n.st.P99 = p

@@ -198,9 +198,14 @@ type Core struct {
 	busy       bool
 	memStalled bool
 
-	lastUpdate  sim.Time
-	energyJ     float64
-	transitions int
+	lastUpdate sim.Time
+	energyJ    float64
+	// energyByLevelJ splits energyJ by the effective level it was burned
+	// at (idle and transition-pending time attribute to the level the
+	// core is actually clocked at). The observability ledger reads this
+	// split; Σ energyByLevelJ == energyJ holds at every instant.
+	energyByLevelJ []float64
+	transitions    int
 	writes      int // SetLevel/SetLevelImmediate requests, incl. coalesced ones
 	// OnChange, when set, fires after a new frequency takes effect.
 	OnChange func(e *sim.Engine, effective Level)
@@ -216,13 +221,14 @@ type Core struct {
 // otherwise), idle, with zero accumulated energy.
 func NewCore(id int, g *Grid, model PowerModel, trans TransitionModel, rng *rand.Rand) *Core {
 	c := &Core{
-		ID:        id,
-		grid:      g,
-		model:     model,
-		trans:     trans,
-		rng:       rng,
-		effective: g.MaxLevel(),
-		target:    g.MaxLevel(),
+		ID:             id,
+		grid:           g,
+		model:          model,
+		trans:          trans,
+		rng:            rng,
+		effective:      g.MaxLevel(),
+		target:         g.MaxLevel(),
+		energyByLevelJ: make([]float64, g.Levels()),
 	}
 	c.transFn = func(en *sim.Engine, _ any) {
 		c.pending = sim.EventRef{}
@@ -277,7 +283,9 @@ func (c *Core) currentPowerW() float64 {
 // advance integrates energy up to now.
 func (c *Core) advance(now sim.Time) {
 	if now > c.lastUpdate {
-		c.energyJ += c.currentPowerW() * float64(now-c.lastUpdate)
+		j := c.currentPowerW() * float64(now-c.lastUpdate)
+		c.energyJ += j
+		c.energyByLevelJ[c.effective] += j
 		c.lastUpdate = now
 	}
 }
@@ -351,6 +359,17 @@ func (c *Core) EnergyJoules(now sim.Time) float64 {
 	return c.energyJ
 }
 
+// AddEnergyByLevel integrates through now and adds the core's per-level
+// joules into dst (len ≥ grid.Levels()). Accumulating into a
+// caller-owned slice keeps socket- and fleet-level roll-ups
+// allocation-free.
+func (c *Core) AddEnergyByLevel(now sim.Time, dst []float64) {
+	c.advance(now)
+	for i, j := range c.energyByLevelJ {
+		dst[i] += j
+	}
+}
+
 // Socket aggregates cores plus constant uncore power.
 type Socket struct {
 	Cores []*Core
@@ -377,6 +396,9 @@ func (s *Socket) ResetEnergy(now sim.Time) {
 	for _, c := range s.Cores {
 		c.advance(now)
 		c.energyJ = 0
+		for i := range c.energyByLevelJ {
+			c.energyByLevelJ[i] = 0
+		}
 		c.lastUpdate = now
 	}
 }
@@ -389,6 +411,29 @@ func (s *Socket) EnergyJoules(now sim.Time) float64 {
 		total += c.EnergyJoules(now)
 	}
 	return total
+}
+
+// UncoreJoules returns the constant uncore share of socket energy from
+// the last reset through now. EnergyJoules == UncoreJoules + the sum of
+// EnergyByLevel: the pair lets an attribution ledger account for every
+// joule the socket reports, with the uncore as its own distinguished
+// bucket rather than smeared across frequency levels.
+func (s *Socket) UncoreJoules(now sim.Time) float64 {
+	return s.model.UncoreW * float64(now-s.start)
+}
+
+// EnergyByLevel returns core energy from the last reset through now,
+// split by the frequency level it was burned at and summed across the
+// socket's cores.
+func (s *Socket) EnergyByLevel(now sim.Time) []float64 {
+	if len(s.Cores) == 0 {
+		return nil
+	}
+	out := make([]float64, s.Cores[0].grid.Levels())
+	for _, c := range s.Cores {
+		c.AddEnergyByLevel(now, out)
+	}
+	return out
 }
 
 // AveragePowerW returns mean socket power from the last reset through now.

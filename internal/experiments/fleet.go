@@ -10,8 +10,10 @@ import (
 
 	"retail/internal/cluster"
 	"retail/internal/core"
+	"retail/internal/obs"
 	"retail/internal/policy"
 	"retail/internal/sim"
+	"retail/internal/telemetry"
 	"retail/internal/workload"
 )
 
@@ -42,6 +44,14 @@ type FleetOptions struct {
 	// BudgetSamples is forwarded to cluster.AllocateBudgets when a
 	// multi-tier budget report is requested (0 = the allocator default).
 	BudgetSamples int
+	// Ledger attaches per-node obs ledgers to every cell so the sweep's
+	// Report carries full energy×QoS attribution.
+	Ledger bool
+	// Registry, when non-nil, receives every cell's per-node telemetry,
+	// keyed by load/dispatcher/policy labels on top of the node label —
+	// the substrate /metrics scrapes and fleet roll-ups read while a
+	// sweep is running.
+	Registry *telemetry.Registry
 }
 
 func (o FleetOptions) withDefaults(cfg Config) FleetOptions {
@@ -140,12 +150,22 @@ func FleetSweep(cfg Config, opt FleetOptions) (*FleetSweepResult, error) {
 				cells = append(cells, SweepCell[*cluster.FleetResult]{
 					Label: fmt.Sprintf("fleet/%s/load=%.2f/%s/%s", app.Name(), lf, d, pol),
 					Run: func() (*cluster.FleetResult, error) {
-						return cluster.RunFleet(cluster.FleetConfig{
+						fc := cluster.FleetConfig{
 							Cal: cal, Nodes: opt.Nodes, WorkersPerNode: opt.WorkersPerNode,
 							Policy: pol, Dispatcher: d, GeminiNN: cfg.GeminiNN,
 							RPS: rps, Warmup: dur / 5, Duration: dur,
-							Seed: cfg.Seed,
-						})
+							Seed:   cfg.Seed,
+							Ledger: opt.Ledger,
+						}
+						if opt.Registry != nil {
+							fc.Registry = opt.Registry
+							fc.Labels = []telemetry.Label{
+								telemetry.L("load", f2(lf)),
+								telemetry.L("dispatcher", d),
+								telemetry.L("policy", pol),
+							}
+						}
+						return cluster.RunFleet(fc)
 					},
 				})
 			}
@@ -239,6 +259,49 @@ func (r *FleetSweepResult) Render() string {
 		"Fleet sweep: %s on %d nodes × %d workers (QoS p%.0f ≤ %v, max %.0f RPS/node)\n\n%s\nFleet-tail winners by (load, policy) — %d distinct dispatchers win somewhere:\n\n%s",
 		r.App, r.Nodes, r.WorkersPerNode, r.QoS.Percentile, r.QoS.Latency,
 		r.MaxRPSPerNode, t, r.DistinctWinners(), w)
+}
+
+// Report folds the sweep into the unified obs run report. The cells
+// keep their canonical order, so at a fixed seed the canonical JSON is
+// byte-stable; rollup (usually obs.RollupRegistry over the sweep's
+// Registry) may be nil.
+func (r *FleetSweepResult) Report(seed int64, rollup []obs.AppRollup) *obs.Report {
+	hash := obs.HashConfig("fleet-sweep", r.App, r.Nodes, r.WorkersPerNode,
+		len(r.Cells), r.QoS.Latency, r.QoS.Percentile)
+	rep := obs.NewReport("fleet-sweep", seed, hash)
+	fr := &obs.FleetReport{
+		App:            r.App,
+		QoSSeconds:     float64(r.QoS.Latency),
+		QoSPercentile:  r.QoS.Percentile,
+		Nodes:          r.Nodes,
+		WorkersPerNode: r.WorkersPerNode,
+		MaxRPSPerNode:  r.MaxRPSPerNode,
+		Rollup:         rollup,
+	}
+	for _, c := range r.Cells {
+		res := c.Result
+		fr.Cells = append(fr.Cells, obs.FleetCellReport{
+			Load: c.Load, Dispatcher: c.Dispatcher, Policy: c.Policy,
+			RPS:       res.RPS,
+			Completed: res.Completed, Dropped: res.Dropped,
+			Violations: res.Violations, QoSMet: res.QoSMet,
+			MeanLatency: res.MeanLatency,
+			P50:         res.P50, P95: res.P95, P99: res.P99,
+			TailAtQoS: res.TailAtQoSPct,
+			EnergyJ:   res.EnergyJ, AvgPowerW: res.AvgPowerW,
+			PlacementHash: fmt.Sprintf("%016x", res.PlacementHash),
+			ImbalanceCV:   res.ImbalanceCV,
+			Ledger:        res.Ledger,
+		})
+	}
+	for _, w := range r.Winners {
+		fr.Winners = append(fr.Winners, obs.WinnerReport{
+			Load: w.Load, Policy: w.Policy,
+			Dispatcher: w.Dispatcher, Tail: w.Tail,
+		})
+	}
+	rep.Fleet = fr
+	return rep
 }
 
 // CSV emits the raw grid for external plotting.

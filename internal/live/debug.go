@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"retail/internal/obs"
 )
 
 // LiveSpan is one completed request in the wall-clock runtime's flight
@@ -73,12 +75,21 @@ type traceSnapshot struct {
 //	/debug/trace   — JSON flight ring of recent requests with decision
 //	                 attribution (level, queue depth, QoS′, predicted vs.
 //	                 actual service time)
-//	/debug/pprof/  — the standard net/http/pprof profiles
+//	/debug/fleet   — per-app roll-up of the server's telemetry registry
+//	                 (obs.FleetHandler); absent when the server runs
+//	                 without a Metrics registry
+//	/debug/pprof/  — the standard net/http/pprof profiles; the worker
+//	                 and connection goroutines carry retail=decide /
+//	                 retail=ingress pprof labels so profiles split the
+//	                 two hot paths
 //
 // Mount it alongside a telemetry Registry's Handler; cmd/retail-live does
 // so under -metrics-addr.
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
+	if s.cfg.Metrics != nil {
+		mux.Handle("/debug/fleet", obs.FleetHandler(s.cfg.Metrics))
+	}
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
 		snap := traceSnapshot{
 			QoSNs:      int64(float64(s.cfg.QoS.Latency) * float64(time.Second)),

@@ -1,11 +1,14 @@
 package live
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -349,6 +352,10 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	// Label the ingress path so CPU profiles separate wire decode/encode
+	// from decision work (select retail=ingress in /debug/pprof samples).
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("retail", "ingress")))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -464,6 +471,10 @@ func (s *Server) queuedLocked() int {
 
 func (s *Server) worker(id int) {
 	defer s.wg.Done()
+	// Label the decide hot path — queue pop, Algorithm 1, DVFS write,
+	// execution — per worker, the counterpart of the ingress label above.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("retail", "decide", "worker", strconv.Itoa(id))))
 	for {
 		s.mu.Lock()
 		var q *queuedReq

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"retail/internal/telemetry"
+)
+
+// AppRollup is the fleet-level view of one application: per-node
+// counters summed and per-node sojourn histograms merged (the log-
+// linear layout merges bucket-by-bucket without rebinning), so the
+// fleet p99 is computed over the union of every node's observations —
+// not an average of per-node tails, which would understate hotspots.
+type AppRollup struct {
+	App        string  `json:"app"`
+	Series     int     `json:"series"` // per-node series merged in
+	Completed  uint64  `json:"completed"`
+	Dropped    uint64  `json:"dropped"`
+	Violations uint64  `json:"violations"`
+	MeanS      float64 `json:"mean_latency_s"`
+	P50        float64 `json:"p50_s"`
+	P99        float64 `json:"p99_s"`
+	P999       float64 `json:"p999_s"`
+}
+
+// Rollup merges gathered telemetry into per-app fleet views, grouping
+// every series of the shared metric schema by its app label and
+// collapsing the node/dispatcher/policy label axes. Apps sort
+// alphabetically so the output is deterministic.
+func Rollup(families []telemetry.FamilySnapshot) []AppRollup {
+	type agg struct {
+		r    AppRollup
+		hist telemetry.HistogramSnapshot
+	}
+	byApp := map[string]*agg{}
+	get := func(labels []telemetry.Label) *agg {
+		app := ""
+		for _, l := range labels {
+			if l.Name == "app" {
+				app = l.Value
+				break
+			}
+		}
+		a := byApp[app]
+		if a == nil {
+			a = &agg{r: AppRollup{App: app}}
+			byApp[app] = a
+		}
+		return a
+	}
+	for _, f := range families {
+		switch f.Name {
+		case telemetry.MetricRequestsTotal:
+			for _, p := range f.Points {
+				a := get(p.Labels)
+				a.r.Completed += uint64(p.Value)
+				a.r.Series++
+			}
+		case telemetry.MetricDroppedTotal:
+			for _, p := range f.Points {
+				get(p.Labels).r.Dropped += uint64(p.Value)
+			}
+		case telemetry.MetricViolationsTotal:
+			for _, p := range f.Points {
+				get(p.Labels).r.Violations += uint64(p.Value)
+			}
+		case telemetry.MetricSojournSeconds:
+			for _, p := range f.Points {
+				if p.Hist != nil {
+					get(p.Labels).hist.Merge(*p.Hist)
+				}
+			}
+		}
+	}
+	apps := make([]string, 0, len(byApp))
+	for app := range byApp {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	out := make([]AppRollup, 0, len(apps))
+	for _, app := range apps {
+		a := byApp[app]
+		if a.hist.Count > 0 {
+			a.r.MeanS = a.hist.Mean()
+			a.r.P50 = a.hist.Quantile(0.50)
+			a.r.P99 = a.hist.Quantile(0.99)
+			a.r.P999 = a.hist.Quantile(0.999)
+		}
+		out = append(out, a.r)
+	}
+	return out
+}
+
+// RollupRegistry is Rollup over a live registry's current state.
+func RollupRegistry(reg *telemetry.Registry) []AppRollup {
+	return Rollup(reg.Gather())
+}
+
+// FleetHandler serves the registry's roll-up as JSON — the /debug/fleet
+// endpoint: what a scraper would compute from /metrics, pre-merged.
+func FleetHandler(reg *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Apps []AppRollup `json:"apps"`
+		}{RollupRegistry(reg)})
+	})
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+
+	"retail/internal/telemetry"
+)
+
+// runtimeSamples are the runtime/metrics series the sampler reads: the
+// three ways the Go runtime itself can eat a latency budget — scheduler
+// backlog, GC stop-the-world pauses, heap growth — plus goroutine count
+// as the canonical leak telltale.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// RuntimeSampler periodically folds Go runtime health into a telemetry
+// registry under the retail_go_* schema names, so one /metrics scrape
+// answers "was that tail spike us or the runtime?". Start it with
+// StartRuntimeSampler; Stop is idempotent-safe to defer.
+type RuntimeSampler struct {
+	reg     *telemetry.Registry
+	samples []metrics.Sample
+
+	goroutines *telemetry.Gauge
+	heapBytes  *telemetry.Gauge
+	gcPauseP99 *telemetry.Gauge
+	schedP99   *telemetry.Gauge
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRuntimeSampler registers the runtime gauges in reg and returns an
+// unstarted sampler. Sample can then be driven manually (tests) or via
+// Start.
+func NewRuntimeSampler(reg *telemetry.Registry) *RuntimeSampler {
+	s := &RuntimeSampler{
+		reg:     reg,
+		samples: make([]metrics.Sample, len(runtimeSamples)),
+		goroutines: reg.Gauge(telemetry.MetricGoGoroutines,
+			"Live goroutines (runtime/metrics)."),
+		heapBytes: reg.Gauge(telemetry.MetricGoHeapBytes,
+			"Live heap object bytes (runtime/metrics)."),
+		gcPauseP99: reg.Gauge(telemetry.MetricGoGCPauseP99,
+			"p99 GC stop-the-world pause over the process lifetime."),
+		schedP99: reg.Gauge(telemetry.MetricGoSchedLatencyP99,
+			"p99 goroutine scheduling latency over the process lifetime."),
+	}
+	for i, name := range runtimeSamples {
+		s.samples[i].Name = name
+	}
+	return s
+}
+
+// Sample reads the runtime metrics once and updates the gauges.
+func (s *RuntimeSampler) Sample() {
+	metrics.Read(s.samples)
+	for i, m := range s.samples {
+		switch runtimeSamples[i] {
+		case "/sched/goroutines:goroutines":
+			if m.Value.Kind() == metrics.KindUint64 {
+				s.goroutines.Set(float64(m.Value.Uint64()))
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if m.Value.Kind() == metrics.KindUint64 {
+				s.heapBytes.Set(float64(m.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			if m.Value.Kind() == metrics.KindFloat64Histogram {
+				s.gcPauseP99.Set(histQuantile(m.Value.Float64Histogram(), 0.99))
+			}
+		case "/sched/latencies:seconds":
+			if m.Value.Kind() == metrics.KindFloat64Histogram {
+				s.schedP99.Set(histQuantile(m.Value.Float64Histogram(), 0.99))
+			}
+		}
+	}
+}
+
+// histQuantile estimates quantile q from a runtime/metrics cumulative
+// histogram, reporting the upper bucket edge (conservative, like HDR).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Buckets[i+1] is bucket i's upper edge; the final bucket's
+			// edge can be +Inf, in which case report its lower edge.
+			if hi := h.Buckets[i+1]; !math.IsInf(hi, 1) {
+				return hi
+			}
+			return h.Buckets[i]
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// StartRuntimeSampler registers the gauges, takes one immediate sample,
+// and samples every interval until Stop (interval ≤0 means 1s).
+func StartRuntimeSampler(reg *telemetry.Registry, interval time.Duration) *RuntimeSampler {
+	s := NewRuntimeSampler(reg)
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.Sample()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts a started sampler and waits for its goroutine to exit.
+// No-op on a sampler that was never started.
+func (s *RuntimeSampler) Stop() {
+	if s.stop == nil {
+		return
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}

@@ -1,7 +1,5 @@
 package stats
 
-import "math/bits"
-
 // HDR is a fixed-memory high-dynamic-range histogram over non-negative
 // int64 values (conventionally nanoseconds), in the style of Gil Tene's
 // HdrHistogram: values bucket into octaves of 2 with hdrSubBuckets
@@ -27,26 +25,18 @@ const (
 	hdrSlots = (64 - hdrSubBits) * hdrSubBuckets
 )
 
-// hdrIndex maps a value to its bucket. Values below hdrSubBuckets are
-// exact; larger ones drop to hdrSubBits+1 significant bits.
+// hdrIndex maps a value to its bucket via the shared log-linear layout
+// (loglinear.go). Values below hdrSubBuckets are exact; larger ones
+// drop to hdrSubBits+1 significant bits.
 func hdrIndex(v int64) int {
-	u := uint64(v)
-	if u < hdrSubBuckets {
-		return int(u)
-	}
-	shift := bits.Len64(u) - hdrSubBits - 1
-	return (shift+1)*hdrSubBuckets + int(u>>shift) - hdrSubBuckets
+	return LogLinearIndex(uint64(v), hdrSubBits)
 }
 
 // hdrValue returns the upper edge of bucket idx — quantiles report a
 // value ≥ the true order statistic, erring conservative on tails.
 func hdrValue(idx int) int64 {
-	if idx < hdrSubBuckets {
-		return int64(idx)
-	}
-	shift := idx/hdrSubBuckets - 1
-	off := idx % hdrSubBuckets
-	return int64(hdrSubBuckets+off+1)<<shift - 1
+	_, upper := LogLinearBounds(idx, hdrSubBits)
+	return int64(upper) - 1
 }
 
 // Record adds one observation. Negative values clamp to zero (a

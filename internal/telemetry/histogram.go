@@ -2,8 +2,9 @@ package telemetry
 
 import (
 	"math"
-	"math/bits"
 	"sync/atomic"
+
+	"retail/internal/stats"
 )
 
 // Histogram bucket layout: HDR-style log-linear over nanoseconds.
@@ -35,12 +36,12 @@ const (
 	unitScale = 1e9
 )
 
+// bucketIndex maps n through the shared log-linear layout
+// (stats.LogLinearIndex). Values whose top bit is set would index one
+// octave past the table (they arise only from float64 inputs above
+// ~2^63 ns); they clamp into the final bucket.
 func bucketIndex(n uint64) int {
-	if n < subCount {
-		return int(n)
-	}
-	e := uint(bits.Len64(n)) - 1 - subBits
-	idx := ((int(e) + 1) << subBits) | int((n>>e)&(subCount-1))
+	idx := stats.LogLinearIndex(n, subBits)
 	if idx >= numBuckets {
 		return numBuckets - 1
 	}
@@ -50,13 +51,7 @@ func bucketIndex(n uint64) int {
 // bucketBounds returns the [lower, upper) bounds of bucket idx in the
 // integer unit (nanoseconds).
 func bucketBounds(idx int) (lower, upper uint64) {
-	if idx < subCount {
-		return uint64(idx), uint64(idx) + 1
-	}
-	e := uint(idx>>subBits) - 1
-	sub := uint64(idx & (subCount - 1))
-	lower = (subCount + sub) << e
-	return lower, lower + 1<<e
+	return stats.LogLinearBounds(idx, subBits)
 }
 
 // Histogram is a fixed-layout log-linear histogram of float64 seconds.
@@ -102,6 +97,43 @@ func (h *Histogram) Observe(v float64) {
 	}
 	for {
 		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Merge folds o's observations into h (o is unchanged). Both sides may
+// be concurrently observed: each bucket transfers with one atomic read
+// and one atomic add, so a merge under load is a near-instant cut, the
+// same consistency Snapshot offers. Fleet roll-ups use this to collapse
+// per-node histograms into one fleet-level view.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	var moved uint64
+	for i := range o.buckets {
+		if c := o.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+			moved += c
+		}
+	}
+	if moved == 0 {
+		return
+	}
+	h.count.Add(moved)
+	h.sumNanos.Add(o.sumNanos.Load())
+	for {
+		old := h.minBits.Load()
+		v := math.Float64frombits(o.minBits.Load())
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		v := math.Float64frombits(o.maxBits.Load())
 		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
 			break
 		}

@@ -65,4 +65,22 @@ const (
 	// MetricWorkersPinned gauges workers currently pinned at max
 	// frequency by the DVFS fallback (0 when all healthy).
 	MetricWorkersPinned = "retail_workers_pinned"
+
+	// --- Go runtime health (internal/obs.RuntimeSampler) ---
+	// Unlabeled: the process, not an app, is the subject. Sampled from
+	// runtime/metrics so a live deployment's tail investigations can rule
+	// the runtime in or out (GC pause landing inside a request, scheduler
+	// backlog delaying a worker goroutine) from the same scrape that
+	// shows the latency histograms.
+
+	// MetricGoGoroutines gauges live goroutines.
+	MetricGoGoroutines = "retail_go_goroutines"
+	// MetricGoHeapBytes gauges live heap object bytes.
+	MetricGoHeapBytes = "retail_go_heap_live_bytes"
+	// MetricGoGCPauseP99 gauges the p99 GC stop-the-world pause over the
+	// process lifetime.
+	MetricGoGCPauseP99 = "retail_go_gc_pause_p99_seconds"
+	// MetricGoSchedLatencyP99 gauges the p99 goroutine scheduling latency
+	// (runnable → running) over the process lifetime.
+	MetricGoSchedLatencyP99 = "retail_go_sched_latency_p99_seconds"
 )

@@ -243,6 +243,57 @@ func (r *Registry) visit(fn func(f *family)) {
 	}
 }
 
+// MetricPoint is one instrument's state inside a FamilySnapshot: its
+// label values (in the family's label-name order) and either a scalar
+// Value (counters report their count, gauges their level) or a
+// histogram snapshot.
+type MetricPoint struct {
+	Labels []Label
+	Value  float64
+	Hist   *HistogramSnapshot // non-nil iff the family is a histogram
+}
+
+// FamilySnapshot is one metric family's state at Gather time.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Kind   string // "counter", "gauge" or "histogram"
+	Points []MetricPoint
+}
+
+// Gather snapshots every family in registration order, children in
+// registration order — the same deterministic walk WriteText performs,
+// but as data instead of exposition text. Roll-ups (internal/obs) merge
+// these snapshots across per-node registries into fleet-level views.
+// Like Snapshot, a gather under concurrent recording is a near-instant
+// cut, not an atomic one.
+func (r *Registry) Gather() []FamilySnapshot {
+	var out []FamilySnapshot
+	r.visit(func(f *family) {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		for _, key := range f.order {
+			vals := f.labels[key]
+			labels := make([]Label, len(f.labelNames))
+			for i, n := range f.labelNames {
+				labels[i] = Label{Name: n, Value: vals[i]}
+			}
+			p := MetricPoint{Labels: labels}
+			switch c := f.children[key].(type) {
+			case *Counter:
+				p.Value = float64(c.Value())
+			case *Gauge:
+				p.Value = c.Value()
+			case *Histogram:
+				s := c.Snapshot()
+				p.Hist = &s
+			}
+			fs.Points = append(fs.Points, p)
+		}
+		out = append(out, fs)
+	})
+	return out
+}
+
 // Names returns the registered family names sorted alphabetically
 // (diagnostic helper for tests).
 func (r *Registry) Names() []string {
