@@ -28,6 +28,13 @@
 #                        decide with ledger, scrape-under-sweep race,
 #                        BENCH_history.jsonl schema validation
 #   make obs-golden      rewrite the report golden after an intentional change
+#   make workload-check  cohort workload gate: arrival-process statistics,
+#                        trace v2 header schema, fixed-seed cohort sweep vs
+#                        committed golden (per-spec table, per-SLO-class
+#                        latency, trace + decision SHA-256), -parallel 1 vs 8
+#                        byte-identity, record→replay→re-record round trips
+#   make workload-golden rewrite the workload sweep golden after an
+#                        intentional change
 #   make smoke   build-and-run every example and command briefly
 #   make check   build + vet + test (the pre-commit bundle)
 
@@ -48,7 +55,7 @@ GO ?= go
 HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep|Cluster)'
 HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments ./internal/cluster
 
-.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden parity-check parity-golden cluster-check cluster-golden obs-check obs-golden smoke check clean
+.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden parity-check parity-golden cluster-check cluster-golden obs-check obs-golden workload-check workload-golden smoke check clean
 
 build:
 	$(GO) build ./...
@@ -134,6 +141,22 @@ obs-check:
 
 obs-golden:
 	$(GO) test -run TestFleetReportGolden -count=1 ./internal/experiments -update
+
+# The ServeGen-class workload gate (DESIGN.md §13): per-arrival-process
+# statistical checks (mean rate, index of dispersion, diurnal phase),
+# the trace v2 header schema pin, and the fixed-seed cohort-spec sweep —
+# its rendered table (per-spec stats, per-SLO-class latency, canonical
+# trace and classed-decision SHA-256 hashes) byte-compared against the
+# committed golden, plus -parallel 1 vs 8 byte-identity. Every sweep
+# cell internally proves record→replay→re-record byte identity through
+# the simulator and classed decision parity through the live decider.
+# workload-golden rewrites the golden after an intentional change.
+workload-check:
+	$(GO) test -count=1 -run 'TestArrival|TestEnvelopePhase|TestSpecValidate|TestBuiltinSpecs|TestCohortDeterminism|TestTraceRoundTrip|TestTraceHeaderSchema' ./internal/workload
+	$(GO) test -count=1 -run 'TestWorkloadSweep' ./internal/experiments
+
+workload-golden:
+	$(GO) test -run TestWorkloadSweepGolden -count=1 ./internal/experiments -update
 
 smoke:
 	$(GO) test -run TestSmoke -v .

@@ -9,6 +9,7 @@
 //	retail-chaos -plan overload-burst      # wall-clock live runtime (default)
 //	retail-chaos -plan dvfs-flaky -seconds 10 -scale 0.5
 //	retail-chaos -sim                      # deterministic simulator matrix
+//	retail-chaos -sim -bursty              # same matrix under overload-mmpp arrivals
 //	retail-chaos -list                     # show the built-in plans
 package main
 
@@ -28,6 +29,7 @@ func main() {
 		planName = flag.String("plan", "overload-burst", "fault plan to replay (see -list)")
 		list     = flag.Bool("list", false, "list the built-in fault plans and exit")
 		simAll   = flag.Bool("sim", false, "run the deterministic simulator chaos matrix instead of the live runtime")
+		bursty   = flag.Bool("bursty", false, "with -sim: drive arrivals from the overload-mmpp cohort spec (correlated bursts)")
 		appName  = flag.String("app", "moses", "application model")
 		workers  = flag.Int("workers", 2, "live worker goroutines")
 		rps      = flag.Float64("rps", 60, "live client request rate (wall clock)")
@@ -49,13 +51,21 @@ func main() {
 	if *simAll {
 		cfg := experiments.Quick()
 		cfg.Seed = *seed
-		res, err := experiments.ChaosAll(cfg)
+		run := experiments.ChaosAll
+		if *bursty {
+			run = experiments.ChaosAllBursty
+		}
+		res, err := run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "retail-chaos: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Print(res.Render())
 		return
+	}
+	if *bursty {
+		fmt.Fprintln(os.Stderr, "retail-chaos: -bursty requires -sim")
+		os.Exit(2)
 	}
 
 	plan, err := fault.PlanByName(*planName)

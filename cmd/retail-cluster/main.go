@@ -55,6 +55,9 @@ func main() {
 		tiers       = flag.String("tiers", "", "comma-separated apps: print the multi-tier budget allocation report instead of sweeping")
 		samples     = flag.Int("budget-samples", 0, "profiling draw per tier for -tiers (0 = allocator default)")
 		report      = flag.String("report", "", "file for the versioned obs run report (attaches per-node energy×QoS ledgers and a telemetry registry to every cell)")
+		specName    = flag.String("spec", "", "cohort workload spec driving every cell: a builtin name ("+strings.Join(workload.BuiltinSpecNames(), ", ")+") or a JSON file")
+		recordPath  = flag.String("record", "", "record the single cell's pre-routing stream to this v2 trace file (requires -spec and a 1×1×1 sweep)")
+		replayPath  = flag.String("replay", "", "replay a recorded v2 trace through the single cell instead of generating load (excludes -spec/-record)")
 	)
 	flag.Parse()
 
@@ -64,6 +67,34 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	// Validate the workload flag combinations before any calibration work.
+	if *specName != "" && *replayPath != "" {
+		fmt.Fprintln(os.Stderr, "retail-cluster: -spec and -replay are mutually exclusive")
+		os.Exit(1)
+	}
+	if *recordPath != "" && *specName == "" {
+		fmt.Fprintln(os.Stderr, "retail-cluster: -record requires -spec (only generated streams are recorded)")
+		os.Exit(1)
+	}
+	var spec *workload.Spec
+	var replayTrace *workload.Trace
+	if *specName != "" {
+		var err error
+		spec, err = workload.LoadSpec(*specName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retail-cluster:", err)
+			os.Exit(1)
+		}
+	}
+	if *replayPath != "" {
+		var err error
+		replayTrace, err = workload.ReadTraceFile(*replayPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retail-cluster:", err)
+			os.Exit(1)
+		}
 	}
 
 	cfg := experiments.Default()
@@ -91,6 +122,9 @@ func main() {
 	if *policies != "" {
 		opt.Policies = strings.Split(*policies, ",")
 	}
+	opt.Spec = spec
+	opt.Record = *recordPath != ""
+	opt.Replay = replayTrace
 	var reg *telemetry.Registry
 	if *report != "" {
 		// A report wants full attribution: ledgers on every node and a
@@ -107,6 +141,23 @@ func main() {
 	}
 	fmt.Print(res.Render())
 
+	if res.Recorded != nil {
+		p := obs.CollectProvenance()
+		res.Recorded.Header.Provenance = workload.TraceProvenance{
+			GoVersion: p.GoVersion, GoOS: p.GoOS, GoArch: p.GoArch,
+			CPU: p.CPU, Commit: p.Commit, Time: p.Time,
+		}
+		if err := res.Recorded.WriteFile(*recordPath); err != nil {
+			fmt.Fprintln(os.Stderr, "retail-cluster:", err)
+			os.Exit(1)
+		}
+		sha, err := res.Recorded.SHA()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "retail-cluster:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrecorded %s (%d records, sha256 %s)\n", *recordPath, len(res.Recorded.Records), sha)
+	}
 	if *perNode {
 		for _, c := range res.Cells {
 			fmt.Printf("\nper-node: load=%.2f %s/%s\n", c.Load, c.Dispatcher, c.Policy)

@@ -9,10 +9,15 @@
 //
 //	retail-loadgen -addr 127.0.0.1:7077 -app xapian -rps 200 -duration 10s
 //	retail-loadgen -selfhost -rps 140000 -conns 12    # loopback saturation demo
+//	retail-loadgen -selfhost -spec slo-mix -record run.trace   # cohort schedule, recorded
+//	retail-loadgen -selfhost -replay run.trace                 # same wire schedule again
 //
 // -selfhost starts an in-process server with a no-op executor and
 // head-only decisions, making the transport — not the policy or the
-// (absent) work — the measured path.
+// (absent) work — the measured path. With -spec the send schedule is
+// pre-drawn from the cohort spec (workload.RecordTrace), so -record and
+// a later -replay offer byte-identical request sequences; latency is
+// then reported per SLO class.
 package main
 
 import (
@@ -21,28 +26,94 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"retail/internal/cpu"
 	"retail/internal/live"
 	"retail/internal/obs"
+	"retail/internal/sim"
 	"retail/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		addr     = flag.String("addr", "", "server address (omit with -selfhost)")
-		appName  = flag.String("app", "xapian", "application model supplying the feature distribution")
-		rps      = flag.Float64("rps", 1000, "aggregate offered request rate")
-		conns    = flag.Int("conns", 8, "client connections (rate splits evenly)")
-		duration = flag.Duration("duration", 5*time.Second, "send window")
-		drain    = flag.Duration("drain", 2*time.Second, "wait for in-flight responses after the window")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		selfhost = flag.Bool("selfhost", false, "start an in-process no-op server and load it over loopback")
-		report   = flag.String("report", "", "file for the versioned obs run report")
+		addr       = flag.String("addr", "", "server address (omit with -selfhost)")
+		appName    = flag.String("app", "xapian", "application model supplying the feature distribution")
+		rps        = flag.Float64("rps", 1000, "aggregate offered request rate")
+		conns      = flag.Int("conns", 8, "client connections (rate splits evenly)")
+		duration   = flag.Duration("duration", 5*time.Second, "send window")
+		drain      = flag.Duration("drain", 2*time.Second, "wait for in-flight responses after the window")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		selfhost   = flag.Bool("selfhost", false, "start an in-process no-op server and load it over loopback")
+		report     = flag.String("report", "", "file for the versioned obs run report")
+		specName   = flag.String("spec", "", "cohort workload spec: a builtin name ("+strings.Join(workload.BuiltinSpecNames(), ", ")+") or a JSON file; pre-draws the wire schedule")
+		recordPath = flag.String("record", "", "write the pre-drawn schedule to this v2 trace file (requires -spec)")
+		replayPath = flag.String("replay", "", "send a recorded v2 trace's schedule instead of generating one (excludes -spec/-record)")
 	)
 	flag.Parse()
+
+	// Validate the -spec/-record/-replay combinations and load their
+	// inputs before any listener binds or connection dials, so a bad
+	// invocation never touches the network.
+	if *specName != "" && *replayPath != "" {
+		log.Fatal("-spec and -replay are mutually exclusive")
+	}
+	if *recordPath != "" && *specName == "" {
+		log.Fatal("-record requires -spec (only generated schedules are recorded)")
+	}
+	var appSet, rpsSet bool
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "app":
+			appSet = true
+		case "rps":
+			rpsSet = true
+		}
+	})
+	var trace *workload.Trace
+	switch {
+	case *specName != "":
+		spec, err := workload.LoadSpec(*specName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specApp, err := spec.SingleApp()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if appSet && specApp.Name() != *appName {
+			log.Fatalf("-spec %q targets app %q but -app is %q", *specName, specApp.Name(), *appName)
+		}
+		*appName = specApp.Name()
+		if rpsSet {
+			// An explicit -rps rescales the cohort mix to that aggregate;
+			// otherwise the spec runs at its own rates.
+			spec = spec.ScaledTo(*rps)
+		}
+		trace = workload.RecordTrace(spec, *seed, sim.Duration(duration.Seconds()))
+		if len(trace.Records) == 0 {
+			log.Fatalf("-spec %q produced no arrivals in %v", *specName, *duration)
+		}
+	case *replayPath != "":
+		var err error
+		trace, err = workload.ReadTraceFile(*replayPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(trace.Records) == 0 {
+			log.Fatalf("-replay trace %q has no records", *replayPath)
+		}
+		apps := trace.Header.Apps
+		if len(apps) != 1 {
+			log.Fatalf("replay trace covers apps %v; the loadgen needs exactly one", apps)
+		}
+		if appSet && apps[0] != *appName {
+			log.Fatalf("-replay trace is for app %q but -app is %q", apps[0], *appName)
+		}
+		*appName = apps[0]
+	}
 
 	app := workload.ByName(*appName)
 	if app == nil {
@@ -76,6 +147,26 @@ func main() {
 		log.Print("need -addr or -selfhost")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if trace != nil {
+		if *recordPath != "" {
+			p := obs.CollectProvenance()
+			trace.Header.Provenance = workload.TraceProvenance{
+				GoVersion: p.GoVersion, GoOS: p.GoOS, GoArch: p.GoArch,
+				CPU: p.CPU, Commit: p.Commit, Time: p.Time,
+			}
+			if err := trace.WriteFile(*recordPath); err != nil {
+				log.Fatal(err)
+			}
+			sha, err := trace.SHA()
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("recorded %s (%d records, sha256 %s)", *recordPath, len(trace.Records), sha)
+		}
+		runSpec(trace, app, target, *conns, *drain, *seed, *report)
+		return
 	}
 
 	log.Printf("open-loop %s: %.0f RPS over %d conns for %v", app.Name(), *rps, *conns, *duration)
@@ -115,6 +206,70 @@ func main() {
 		}
 		fmt.Printf("report      %s (v%d, config %s)\n", *report, rep.Version, rep.ConfigHash)
 	}
+}
+
+// runSpec sends a pre-drawn trace schedule over the wire and reports
+// latency per SLO class.
+func runSpec(trace *workload.Trace, app workload.App, target string,
+	conns int, drain time.Duration, seed int64, report string) {
+	span := time.Duration(trace.Records[len(trace.Records)-1].ArrivalNs())
+	log.Printf("trace-scheduled %s: %d records over %v via %d conns",
+		app.Name(), len(trace.Records), span.Round(time.Millisecond), conns)
+	res, err := live.RunSpecLoad(live.SpecLoadConfig{
+		Addr: target, Trace: trace, Conns: conns, DrainTimeout: drain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Report())
+
+	if report == "" {
+		return
+	}
+	sha, err := trace.SHA()
+	if err != nil {
+		log.Fatal(err)
+	}
+	qos := app.QoS()
+	pct := qos.Percentile / 100
+	q := func(p float64) float64 { return time.Duration(res.Latency.Quantile(p)).Seconds() }
+	rep := obs.NewReport("loadgen", seed, obs.HashConfig("loadgen-spec",
+		app.Name(), sha, conns))
+	lg := &obs.LoadgenReport{
+		App: app.Name(), Addr: target, Conns: conns,
+		Duration:   res.Elapsed.Seconds(),
+		Sent:       res.Sent,
+		Completed:  res.Completed,
+		Dropped:    res.Dropped,
+		Unanswered: res.Unanswered,
+		OfferedRPS: res.OfferedRPS,
+		SentRPS:    res.SentRPS,
+		ElapsedS:   res.Elapsed.Seconds(),
+		LatencyS: obs.LatencyQuantiles{
+			Min: time.Duration(res.Latency.Min()).Seconds(),
+			P50: q(0.50), P90: q(0.90), P99: q(0.99),
+			P999: q(0.999), P9999: q(0.9999),
+			Max: time.Duration(res.Latency.Max()).Seconds(),
+		},
+	}
+	for i := range res.Classes {
+		c := &res.Classes[i]
+		cq := func(p float64) float64 { return time.Duration(c.Latency.Quantile(p)).Seconds() }
+		targetS := c.Scale * float64(qos.Latency) // sim.Duration is seconds
+		tail := cq(pct)
+		lg.Classes = append(lg.Classes, obs.SLOClassLatency{
+			Class: c.Class, QoSScale: c.Scale,
+			Completed: c.Completed, Dropped: c.Dropped,
+			P50: cq(0.50), P95: cq(0.95), P99: cq(0.99),
+			TailAtQoS: tail, QoSTarget: targetS,
+			QoSMet: tail <= targetS,
+		})
+	}
+	rep.Loadgen = lg
+	if err := rep.WriteFile(report); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report      %s (v%d, config %s)\n", report, rep.Version, rep.ConfigHash)
 }
 
 // flatPredictor is the selfhost stand-in for a trained model: a constant

@@ -43,6 +43,10 @@ func main() {
 		samples  = flag.Int("samples", 1000, "calibration samples per frequency level")
 		quickNN  = flag.Bool("quick-nn", true, "use a small NN for gemini instead of the 5×128")
 
+		specName   = flag.String("spec", "", "cohort workload spec: a builtin name ("+strings.Join(workload.BuiltinSpecNames(), ", ")+") or a JSON file")
+		recordPath = flag.String("record", "", "record the generated request stream to this v2 trace file (requires -spec)")
+		replayPath = flag.String("replay", "", "replay a recorded v2 trace instead of generating load (excludes -spec/-record)")
+
 		tracePath  = flag.String("trace", "", "write a request trace to this file (span flight recorder)")
 		traceFmt   = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto-viewable JSON) or csv")
 		traceCap   = flag.Int("trace-cap", 0, "flight-recorder ring capacity per class (0 = default 4096)")
@@ -52,6 +56,54 @@ func main() {
 	)
 	flag.Parse()
 
+	appSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "app" {
+			appSet = true
+		}
+	})
+	// A workload source (spec or replay trace) names its own app; it
+	// overrides the -app default and must agree with an explicit -app.
+	var spec *workload.Spec
+	var replayTrace *workload.Trace
+	if err := validateWorkloadFlags(*specName, *recordPath, *replayPath); err != nil {
+		fmt.Fprintf(os.Stderr, "retail-sim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch {
+	case *specName != "":
+		var err error
+		spec, err = workload.LoadSpec(*specName)
+		if err != nil {
+			log.Fatalf("retail-sim: %v", err)
+		}
+		specApp, err := spec.SingleApp()
+		if err != nil {
+			log.Fatalf("retail-sim: %v", err)
+		}
+		if appSet && specApp.Name() != *appName {
+			log.Fatalf("retail-sim: -spec %q targets app %q but -app is %q", *specName, specApp.Name(), *appName)
+		}
+		*appName = specApp.Name()
+	case *replayPath != "":
+		var err error
+		replayTrace, err = workload.ReadTraceFile(*replayPath)
+		if err != nil {
+			log.Fatalf("retail-sim: %v", err)
+		}
+		if len(replayTrace.Records) == 0 {
+			log.Fatalf("retail-sim: -replay trace %q has no records", *replayPath)
+		}
+		apps := replayTrace.Header.Apps
+		if len(apps) != 1 {
+			log.Fatalf("retail-sim: replay trace covers apps %v; single-node replay needs exactly one", apps)
+		}
+		if appSet && apps[0] != *appName {
+			log.Fatalf("retail-sim: -replay trace is for app %q but -app is %q", apps[0], *appName)
+		}
+		*appName = apps[0]
+	}
 	app := workload.ByName(*appName)
 	if err := validateFlags(app, *appName, *load, *rps, *workers, *duration, *samples,
 		*tracePath, *traceFmt, *traceCap, *traceEvery); err != nil {
@@ -67,6 +119,11 @@ func main() {
 	rate := *rps
 	if rate <= 0 {
 		rate = core.CalibrateMaxLoad(app, platform, *seed) * *load
+	}
+	if spec != nil {
+		// Scale here rather than in core.Run so a recorded trace's header
+		// carries the spec actually generated (rates included).
+		spec = spec.ScaledTo(rate)
 	}
 	var m manager.Manager
 	switch *mgrName {
@@ -100,6 +157,15 @@ func main() {
 	if dur <= 0 {
 		dur = core.RecommendedDuration(app, rate)
 	}
+	warmup := dur / 5
+	if replayTrace != nil && *duration <= 0 {
+		// Reproduce the recording's horizon: a stream recorded over
+		// warmup+duration = 1.2×duration spans that window, so split the
+		// trace's span 1:5 the same way.
+		span := sim.Duration(replayTrace.Records[len(replayTrace.Records)-1].Arrival)
+		warmup = span / 6
+		dur = span - warmup
+	}
 
 	// Optional observers, installed through the core.Run instrument hook so
 	// they wrap the manager's hooks chain after Attach.
@@ -127,7 +193,7 @@ func main() {
 			// Reset in the same virtual instant core.Run resets energy, so
 			// ledger counts and socket joules share the measurement epoch.
 			lr := led
-			e.At(dur/5, "obs.ledger.reset", func(*sim.Engine) { lr.Reset() })
+			e.At(warmup, "obs.ledger.reset", func(*sim.Engine) { lr.Reset() })
 		}
 		var fs, ls server.DecisionSink
 		if flight != nil {
@@ -152,13 +218,41 @@ func main() {
 			}
 		}
 	}
-	res, err := core.Run(core.RunConfig{
+	runCfg := core.RunConfig{
 		App: app, Platform: platform, Manager: m,
-		RPS: rate, Warmup: dur / 5, Duration: dur, Seed: *seed,
+		RPS: rate, Warmup: warmup, Duration: dur, Seed: *seed,
 		Instrument: instrument,
-	})
+	}
+	var recTrace *workload.Trace
+	switch {
+	case replayTrace != nil:
+		runCfg.Replay, runCfg.RPS = replayTrace, 0
+	case spec != nil:
+		// The spec is pre-scaled to rate; RPS 0 runs it as-is.
+		runCfg.Spec, runCfg.RPS = spec, 0
+		if *recordPath != "" {
+			recTrace = workload.NewTrace(spec, *seed)
+			runCfg.Record = recTrace
+		}
+	}
+	res, err := core.Run(runCfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if recTrace != nil {
+		p := obs.CollectProvenance()
+		recTrace.Header.Provenance = workload.TraceProvenance{
+			GoVersion: p.GoVersion, GoOS: p.GoOS, GoArch: p.GoArch,
+			CPU: p.CPU, Commit: p.Commit, Time: p.Time,
+		}
+		if err := recTrace.WriteFile(*recordPath); err != nil {
+			log.Fatal(err)
+		}
+		sha, err := recTrace.SHA()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded     %s (%d records, sha256 %s)\n", *recordPath, len(recTrace.Records), sha)
 	}
 
 	verdict := "MET"
@@ -180,6 +274,15 @@ transitions  %d frequency changes
 		sim.Time(res.P50), sim.Time(res.P95), sim.Time(res.P99), sim.Time(res.MeanLatency),
 		verdict, app.QoS().Percentile, sim.Time(res.TailAtQoSPct), app.QoS().Latency,
 		res.Transitions)
+	for _, cr := range res.Classes {
+		met := "MET"
+		if !cr.QoSMet {
+			met = "VIOLATED"
+		}
+		fmt.Printf("class        %-12s scale %.2f  completed %d  dropped %d  p50 %v  p99 %v  tail %v vs %v  %s\n",
+			cr.Class, cr.QoSScale, cr.Completed, cr.Dropped,
+			sim.Time(cr.P50), sim.Time(cr.P99), sim.Time(cr.TailAtQoSPct), sim.Time(cr.QoSTarget), met)
+	}
 
 	if flight != nil {
 		if err := writeTrace(flight, *tracePath, *traceFmt); err != nil {
@@ -197,7 +300,7 @@ transitions  %d frequency changes
 		}
 	}
 	if *reportPath != "" {
-		end := dur/5 + dur
+		end := warmup + dur
 		ns := led.Summary(res.App, 0, srvRef.Socket.EnergyByLevel(end), srvRef.Socket.UncoreJoules(end))
 		rep := obs.NewReport("sim", *seed, obs.HashConfig("sim", res.App, res.Manager,
 			*workers, rate, float64(dur), *samples))
@@ -211,6 +314,15 @@ transitions  %d frequency changes
 			TailAtQoS: res.TailAtQoSPct,
 			EnergyJ:   res.EnergyJ, AvgPowerW: res.AvgPowerW,
 			Ledger: []obs.NodeSummary{ns},
+		}
+		for _, cr := range res.Classes {
+			rep.Sim.Classes = append(rep.Sim.Classes, obs.SLOClassLatency{
+				Class: cr.Class, QoSScale: cr.QoSScale,
+				Completed: cr.Completed, Dropped: cr.Dropped,
+				P50: cr.P50, P95: cr.P95, P99: cr.P99,
+				TailAtQoS: cr.TailAtQoSPct, QoSTarget: cr.QoSTarget,
+				QoSMet: cr.QoSMet,
+			})
 		}
 		if err := rep.WriteFile(*reportPath); err != nil {
 			log.Fatal(err)
@@ -235,6 +347,18 @@ func writeTrace(fr *trace.FlightRecorder, path, format string) error {
 		err = cerr
 	}
 	return err
+}
+
+// validateWorkloadFlags checks the -spec/-record/-replay combinations
+// before any file or calibration work happens.
+func validateWorkloadFlags(spec, record, replay string) error {
+	if spec != "" && replay != "" {
+		return fmt.Errorf("-spec and -replay are mutually exclusive")
+	}
+	if record != "" && spec == "" {
+		return fmt.Errorf("-record requires -spec (only generated streams are recorded)")
+	}
+	return nil
 }
 
 // validateFlags checks flag combinations up front so misconfiguration

@@ -59,6 +59,18 @@ type FleetConfig struct {
 	Duration sim.Duration // measurement window
 	Seed     int64
 
+	// Spec, when non-nil, drives the fleet with the cohort population
+	// instead of the single Poisson generator (see core.RunConfig.Spec
+	// for the contract: single-app, matching Cal.App; RPS > 0 rescales).
+	// Per-SLO-class QoS′ targets from the spec's class table install on
+	// every node's manager that exposes SetClassTargets.
+	Spec *workload.Spec
+	// Record taps every generated arrival (pre-routing, warmup included)
+	// into the trace; Replay substitutes a recorded stream for any
+	// generator. Mutually exclusive with Spec, same rules as core.Run.
+	Record *workload.Trace
+	Replay *workload.Trace
+
 	// Registry, when non-nil, receives per-node telemetry under the
 	// existing single-node metric families, keyed by a node=<i> label
 	// plus any extra Labels (e.g. dispatcher=…, policy=… per sweep cell).
@@ -193,8 +205,32 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	if cfg.Nodes <= 0 || cfg.WorkersPerNode <= 0 {
 		return nil, fmt.Errorf("cluster: need positive Nodes and WorkersPerNode")
 	}
-	if cfg.RPS <= 0 || cfg.Duration <= 0 {
-		return nil, fmt.Errorf("cluster: need positive RPS and Duration")
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("cluster: need positive Duration")
+	}
+	if cfg.RPS <= 0 && cfg.Spec == nil && cfg.Replay == nil {
+		return nil, fmt.Errorf("cluster: need positive RPS (or a Spec/Replay source)")
+	}
+	if cfg.Spec != nil && cfg.Replay != nil {
+		return nil, fmt.Errorf("cluster: Spec and Replay are mutually exclusive")
+	}
+	var classScales []float64
+	switch {
+	case cfg.Replay != nil:
+		apps := cfg.Replay.Header.Apps
+		if len(apps) != 1 || apps[0] != cfg.Cal.App.Name() {
+			return nil, fmt.Errorf("cluster: replay trace apps %v do not match app %q", apps, cfg.Cal.App.Name())
+		}
+		classScales = cfg.Replay.Header.Scales
+	case cfg.Spec != nil:
+		specApp, err := cfg.Spec.SingleApp()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		if specApp.Name() != cfg.Cal.App.Name() {
+			return nil, fmt.Errorf("cluster: spec %q targets app %q, fleet serves %q", cfg.Spec.Name, specApp.Name(), cfg.Cal.App.Name())
+		}
+		_, classScales = cfg.Spec.Classes()
 	}
 	disp, err := policy.NewDispatcher(cfg.Dispatcher, cfg.Seed)
 	if err != nil {
@@ -230,9 +266,22 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	pool := &workload.RequestPool{}
 	measuring := false
 	fleetLat := stats.NewLatencyTracker(0, true)
+	// Resolve the effective offered load up front: it sizes the latency
+	// buffers and is what the result reports.
+	spec := cfg.Spec
+	if spec != nil && cfg.RPS > 0 {
+		spec = spec.ScaledTo(cfg.RPS)
+	}
+	rps := cfg.RPS
+	if spec != nil {
+		rps = spec.TotalRPS()
+	}
+	if cfg.Replay != nil {
+		rps = float64(len(cfg.Replay.Records)) / float64(cfg.Warmup+cfg.Duration)
+	}
 	// Expected completions during the measured window; presizing the
 	// keepAll buffers spares their append-doubling reallocations.
-	expect := int(cfg.RPS*float64(cfg.Duration)) + 64
+	expect := int(rps*float64(cfg.Duration)) + 64
 	fleetLat.ReserveAll(expect)
 	levels := platform.Grid.Levels()
 
@@ -253,6 +302,11 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		mgr, err := newNodeManager(cfg.Policy, cfg.Cal, gemProto)
 		if err != nil {
 			return nil, err
+		}
+		if len(classScales) > 0 {
+			if ct, ok := mgr.(interface{ SetClassTargets(policy.ClassTargets) }); ok {
+				ct.SetClassTargets(policy.NewClassTargets(classScales))
+			}
 		}
 		mgr.Attach(e, n.srv)
 		if cfg.Registry != nil {
@@ -307,9 +361,28 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		nodes[i].srv.Submit(en, r)
 	}
 
-	gen := workload.NewGenerator(app, cfg.RPS, cfg.Seed, route)
-	gen.Pool = pool
-	gen.Start(e)
+	sink := route
+	if cfg.Record != nil {
+		sink = cfg.Record.RecordSink(sink)
+	}
+	var stopGen func()
+	switch {
+	case cfg.Replay != nil:
+		pl := workload.NewPlayer(cfg.Replay, sink)
+		pl.Pool = pool
+		pl.Start(e)
+		stopGen = pl.Stop
+	case spec != nil:
+		cg := workload.NewCohortGenerator(spec, cfg.Seed, sink)
+		cg.Pool = pool
+		cg.Start(e)
+		stopGen = cg.Stop
+	default:
+		gen := workload.NewGenerator(app, cfg.RPS, cfg.Seed, sink)
+		gen.Pool = pool
+		gen.Start(e)
+		stopGen = gen.Stop
+	}
 	e.At(cfg.Warmup, "fleet.measure", func(en *sim.Engine) {
 		measuring = true
 		for _, n := range nodes {
@@ -323,14 +396,14 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	})
 	end := cfg.Warmup + cfg.Duration
 	e.Run(end)
-	gen.Stop()
+	stopGen()
 
 	res := &FleetResult{
 		App:           app.Name(),
 		Dispatcher:    disp.Name(),
 		Policy:        cfg.Policy,
 		Nodes:         cfg.Nodes,
-		RPS:           cfg.RPS,
+		RPS:           rps,
 		QoSTarget:     float64(qos.Latency),
 		Residency:     make([]int, levels),
 		PlacementHash: hash,

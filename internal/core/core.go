@@ -21,6 +21,7 @@ import (
 	"retail/internal/features"
 	"retail/internal/manager"
 	"retail/internal/nn"
+	"retail/internal/policy"
 	"retail/internal/predict"
 	"retail/internal/server"
 	"retail/internal/sim"
@@ -396,6 +397,23 @@ type RunConfig struct {
 	Warmup   sim.Duration // excluded from all measurements
 	Duration sim.Duration // measurement window
 	Seed     int64
+	// Spec, when non-nil, replaces the single Poisson generator with the
+	// spec's full client population (cohorts × arrival processes ×
+	// envelopes; see workload.Spec). The spec must be single-app and match
+	// App. RPS > 0 rescales the spec's aggregate rate (ScaledTo); RPS 0
+	// runs the spec's own rates. The spec's class table installs per-SLO-
+	// class QoS′ targets on any manager exposing SetClassTargets.
+	Spec *workload.Spec
+	// Record, when non-nil, taps every generated arrival into the trace
+	// (workload.Trace.RecordSink) on its way to the server — warmup
+	// included, so a replayed trace reproduces the whole run.
+	Record *workload.Trace
+	// Replay, when non-nil, substitutes the recorded stream for any
+	// generator: arrivals, features and service demands come from the
+	// trace bit-for-bit and no workload RNG is consumed. Mutually
+	// exclusive with Spec; the trace's class table installs per-SLO-class
+	// targets exactly as a spec's would.
+	Replay *workload.Trace
 	// CollectSamples retains per-request (level, features, service)
 	// samples from the measurement window for offline RMSE evaluation.
 	CollectSamples bool
@@ -436,6 +454,27 @@ type Result struct {
 
 	Transitions int
 	Samples     []predict.Sample // when CollectSamples
+
+	// Classes breaks the window down per SLO class when the run was
+	// driven by a cohort spec or a recorded trace with a class table
+	// (nil otherwise). Order follows the spec's class table.
+	Classes []ClassResult
+}
+
+// ClassResult is one SLO class's slice of the measurement window. The
+// quantiles come from a stats.HDR histogram over nanosecond sojourns
+// (≤1.6% relative bucket error), so per-class reporting stays O(1) per
+// completion regardless of how skewed the class mix is.
+type ClassResult struct {
+	Class     string  // class name from the spec/trace table
+	QoSScale  float64 // the class's QoS′ multiplier
+	Completed int
+	Dropped   int
+
+	P50, P95, P99 float64 // seconds
+	TailAtQoSPct  float64 // tail at the app's QoS percentile
+	QoSTarget     float64 // QoSScale × the app's QoS latency
+	QoSMet        bool
 }
 
 // Run executes warmup + measurement and returns the aggregated result.
@@ -443,8 +482,40 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.App == nil || cfg.Manager == nil {
 		return nil, fmt.Errorf("core: RunConfig needs App and Manager")
 	}
-	if cfg.RPS <= 0 || cfg.Duration <= 0 {
-		return nil, fmt.Errorf("core: RunConfig needs positive RPS and Duration")
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("core: RunConfig needs positive Duration")
+	}
+	if cfg.RPS <= 0 && cfg.Spec == nil && cfg.Replay == nil {
+		return nil, fmt.Errorf("core: RunConfig needs positive RPS (or a Spec/Replay source)")
+	}
+	if cfg.Spec != nil && cfg.Replay != nil {
+		return nil, fmt.Errorf("core: Spec and Replay are mutually exclusive")
+	}
+	// The workload source's class table, when present, drives per-class
+	// QoS′ targets and per-class reporting.
+	var classNames []string
+	var classScales []float64
+	switch {
+	case cfg.Replay != nil:
+		apps := cfg.Replay.Header.Apps
+		if len(apps) != 1 || apps[0] != cfg.App.Name() {
+			return nil, fmt.Errorf("core: replay trace apps %v do not match app %q", apps, cfg.App.Name())
+		}
+		classNames, classScales = cfg.Replay.Header.Classes, cfg.Replay.Header.Scales
+	case cfg.Spec != nil:
+		specApp, err := cfg.Spec.SingleApp()
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if specApp.Name() != cfg.App.Name() {
+			return nil, fmt.Errorf("core: spec %q targets app %q, run configured for %q", cfg.Spec.Name, specApp.Name(), cfg.App.Name())
+		}
+		classNames, classScales = cfg.Spec.Classes()
+	}
+	if len(classScales) > 0 {
+		if ct, ok := cfg.Manager.(interface{ SetClassTargets(policy.ClassTargets) }); ok {
+			ct.SetClassTargets(policy.NewClassTargets(classScales))
+		}
 	}
 	e := sim.NewEngine()
 	srv := server.New(server.Config{
@@ -465,11 +536,25 @@ func Run(cfg RunConfig) (*Result, error) {
 	measuring := false
 	var samples []predict.Sample
 	droppedInWindow := 0
+	// Per-class histograms: HDR over nanosecond sojourns, one per class
+	// table entry.
+	var classHist []*stats.HDR
+	var classDropped []int
+	if len(classNames) > 0 {
+		classHist = make([]*stats.HDR, len(classNames))
+		for i := range classHist {
+			classHist[i] = &stats.HDR{}
+		}
+		classDropped = make([]int, len(classNames))
+	}
 	srv.CompletedSink = func(en *sim.Engine, r *workload.Request) {
 		if !measuring {
 			return
 		}
 		lat.Add(float64(r.Sojourn()))
+		if c := int(r.SLOClass); c < len(classHist) {
+			classHist[c].Record(int64(float64(r.Sojourn()) * 1e9))
+		}
 		if cfg.CollectSamples {
 			samples = append(samples, predict.Sample{
 				Level:    cpu.Level(r.ServedLevel),
@@ -479,13 +564,43 @@ func Run(cfg RunConfig) (*Result, error) {
 		}
 	}
 	srv.DroppedSink = func(en *sim.Engine, r *workload.Request) {
-		if measuring {
-			droppedInWindow++
+		if !measuring {
+			return
+		}
+		droppedInWindow++
+		if c := int(r.SLOClass); c < len(classDropped) {
+			classDropped[c]++
 		}
 	}
 
-	gen := workload.NewGenerator(cfg.App, cfg.RPS, cfg.Seed, srv.Submit)
-	gen.Start(e)
+	sink := srv.Submit
+	if cfg.Record != nil {
+		sink = cfg.Record.RecordSink(sink)
+	}
+	rps := cfg.RPS
+	var stopGen func()
+	switch {
+	case cfg.Replay != nil:
+		pl := workload.NewPlayer(cfg.Replay, sink)
+		pl.Start(e)
+		stopGen = pl.Stop
+		if rps <= 0 && cfg.Duration > 0 {
+			rps = float64(len(cfg.Replay.Records)) / float64(cfg.Warmup+cfg.Duration)
+		}
+	case cfg.Spec != nil:
+		spec := cfg.Spec
+		if cfg.RPS > 0 {
+			spec = spec.ScaledTo(cfg.RPS)
+		}
+		cg := workload.NewCohortGenerator(spec, cfg.Seed, sink)
+		cg.Start(e)
+		stopGen = cg.Stop
+		rps = spec.TotalRPS()
+	default:
+		gen := workload.NewGenerator(cfg.App, cfg.RPS, cfg.Seed, sink)
+		gen.Start(e)
+		stopGen = gen.Stop
+	}
 	for _, ev := range cfg.Events {
 		ev := ev
 		e.At(ev.At, "core.event", func(en *sim.Engine) { ev.Do(en, srv) })
@@ -496,12 +611,12 @@ func Run(cfg RunConfig) (*Result, error) {
 	})
 	end := cfg.Warmup + cfg.Duration
 	e.Run(end)
-	gen.Stop()
+	stopGen()
 
 	res := &Result{
 		Manager:     cfg.Manager.Name(),
 		App:         cfg.App.Name(),
-		RPS:         cfg.RPS,
+		RPS:         rps,
 		AvgPowerW:   srv.Socket.AveragePowerW(end),
 		EnergyJ:     srv.Socket.EnergyJoules(end),
 		Completed:   lat.Count(),
@@ -515,6 +630,28 @@ func Run(cfg RunConfig) (*Result, error) {
 		res.P50, res.P95, res.P99, res.TailAtQoSPct = qs[0], qs[1], qs[2], qs[3]
 		res.MeanLatency = lat.Mean()
 		res.QoSMet = res.TailAtQoSPct <= res.QoSTarget
+	}
+	for i, h := range classHist {
+		scale := 1.0
+		if i < len(classScales) {
+			scale = classScales[i]
+		}
+		cr := ClassResult{
+			Class:     classNames[i],
+			QoSScale:  scale,
+			Completed: int(h.Count()),
+			Dropped:   classDropped[i],
+			QoSTarget: scale * float64(qos.Latency),
+		}
+		if h.Count() > 0 {
+			const ns = 1e-9
+			cr.P50 = float64(h.Quantile(0.50)) * ns
+			cr.P95 = float64(h.Quantile(0.95)) * ns
+			cr.P99 = float64(h.Quantile(0.99)) * ns
+			cr.TailAtQoSPct = float64(h.Quantile(qos.Percentile/100)) * ns
+			cr.QoSMet = cr.TailAtQoSPct <= cr.QoSTarget
+		}
+		res.Classes = append(res.Classes, cr)
 	}
 	return res, nil
 }

@@ -63,8 +63,11 @@ type ChaosCell struct {
 // decision delay — under predictor-skew the mass moves to mispredict
 // until the retrain lands).
 type ChaosResult struct {
-	App   string
-	RPS   float64
+	App string
+	RPS float64
+	// Spec names the cohort spec driving arrivals when the matrix ran
+	// under ChaosAllBursty ("" = the classic Poisson generator).
+	Spec  string
 	Cells []ChaosCell
 	// Audits maps plan name → rendered trace.Audit for ReTail's faulted
 	// run under that plan.
@@ -78,6 +81,24 @@ func chaosManagers() []string { return []string{"retail", "rubik", "gemini"} }
 // Gemini on Moses at 40% load over the canonical 10-second timeline
 // (2 s warmup + 10 s measured, matching the plan windows).
 func ChaosAll(cfg Config) (*ChaosResult, error) {
+	return chaosAll(cfg, nil)
+}
+
+// ChaosAllBursty is the nightly bursty-arrival leg: the same plan ×
+// manager matrix, but arrivals come from the overload-mmpp cohort spec —
+// nearly all load on a heavily bursty MMPP population — instead of the
+// i.i.d. Poisson generator. Overload windows then arrive as correlated
+// trains, the arrival shape the PR 4 degradation ladder (retrain, shed,
+// clamp — never crash) must survive.
+func ChaosAllBursty(cfg Config) (*ChaosResult, error) {
+	spec := workload.BuiltinSpec("overload-mmpp")
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: overload-mmpp spec: %w", err)
+	}
+	return chaosAll(cfg, spec)
+}
+
+func chaosAll(cfg Config, spec *workload.Spec) (*ChaosResult, error) {
 	app := workload.ByName("moses")
 	cal, err := core.Calibrate(app, cfg.Platform, cfg.SamplesPerLevel, cfg.Seed)
 	if err != nil {
@@ -85,11 +106,15 @@ func ChaosAll(cfg Config) (*ChaosResult, error) {
 	}
 	rps := core.CalibrateMaxLoad(app, cfg.Platform, cfg.Seed) * 0.4
 	res := &ChaosResult{App: app.Name(), RPS: rps, Audits: map[string]string{}}
+	if spec != nil {
+		res.Spec = spec.Name
+		spec = spec.ScaledTo(rps)
+	}
 
 	// One healthy baseline per manager, shared across plans.
 	base := map[string]*chaosRun{}
 	for _, mgr := range chaosManagers() {
-		r, err := chaosRunOnce(cfg, cal, mgr, rps, nil)
+		r, err := chaosRunOnce(cfg, cal, mgr, rps, spec, nil)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: baseline %s: %w", mgr, err)
 		}
@@ -101,7 +126,7 @@ func ChaosAll(cfg Config) (*ChaosResult, error) {
 			return nil, err
 		}
 		for _, mgr := range chaosManagers() {
-			fr, err := chaosRunOnce(cfg, cal, mgr, rps, plan)
+			fr, err := chaosRunOnce(cfg, cal, mgr, rps, spec, plan)
 			if err != nil {
 				return nil, fmt.Errorf("chaos: %s/%s: %w", planName, mgr, err)
 			}
@@ -142,8 +167,11 @@ type chaosRun struct {
 // chaosRunOnce replays one plan (nil = healthy baseline) against one
 // manager. The plan's clock is the simulator clock, so the canonical
 // 10-second timeline maps 1:1 onto virtual time: warmup ends at t=2 s and
-// the measured window closes at t=12 s.
-func chaosRunOnce(cfg Config, cal *core.Calibration, mgrName string, rps float64, plan *fault.Plan) (*chaosRun, error) {
+// the measured window closes at t=12 s. A non-nil spec (already scaled to
+// rps) swaps the Poisson generator for the cohort population; plan
+// overload windows then scale every client's instantaneous rate instead
+// of resetting a single Poisson rate.
+func chaosRunOnce(cfg Config, cal *core.Calibration, mgrName string, rps float64, spec *workload.Spec, plan *fault.Plan) (*chaosRun, error) {
 	const (
 		warmup  = sim.Time(2)
 		horizon = sim.Time(12)
@@ -200,13 +228,24 @@ func chaosRunOnce(cfg Config, cal *core.Calibration, mgrName string, rps float64
 		}
 	}
 
-	gen := workload.NewGenerator(app, rps, cfg.Seed+5, srv.Submit)
-	gen.Start(e)
+	var stopGen func()
+	var setBurst func(factor float64)
+	if spec != nil {
+		gen := workload.NewCohortGenerator(spec, cfg.Seed+5, srv.Submit)
+		gen.Start(e)
+		stopGen = gen.Stop
+		setBurst = gen.SetRateScale
+	} else {
+		gen := workload.NewGenerator(app, rps, cfg.Seed+5, srv.Submit)
+		gen.Start(e)
+		stopGen = gen.Stop
+		setBurst = func(factor float64) { gen.SetRPS(rps * factor) }
+	}
 	if plan != nil {
 		if b := plan.Burst; b != nil && b.Factor > 0 {
 			factor := b.Factor
-			e.At(sim.Time(b.From), "chaos.burst", func(en *sim.Engine) { gen.SetRPS(rps * factor) })
-			e.At(sim.Time(b.Until), "chaos.burst-end", func(en *sim.Engine) { gen.SetRPS(rps) })
+			e.At(sim.Time(b.From), "chaos.burst", func(en *sim.Engine) { setBurst(factor) })
+			e.At(sim.Time(b.Until), "chaos.burst-end", func(en *sim.Engine) { setBurst(1) })
 		}
 		if d := plan.Drift; d != nil && d.Factor > 0 {
 			factor := d.Factor
@@ -226,7 +265,7 @@ func chaosRunOnce(cfg Config, cal *core.Calibration, mgrName string, rps float64
 		srv.Socket.ResetEnergy(en.Now())
 	})
 	e.Run(horizon)
-	gen.Stop()
+	stopGen()
 
 	qos := app.QoS()
 	run := &chaosRun{
@@ -281,8 +320,12 @@ func (r *ChaosResult) Render() string {
 			fmt.Sprintf("%d", c.Retrains), renderInjected(c.Injected))
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "Chaos — %s @ %.1f RPS, canonical 10s timeline (2s warmup)\n%s",
-		r.App, r.RPS, t.String())
+	arrivals := ""
+	if r.Spec != "" {
+		arrivals = fmt.Sprintf(", %s arrivals", r.Spec)
+	}
+	fmt.Fprintf(&b, "Chaos — %s @ %.1f RPS, canonical 10s timeline (2s warmup)%s\n%s",
+		r.App, r.RPS, arrivals, t.String())
 	plans := make([]string, 0, len(r.Audits))
 	for p := range r.Audits {
 		plans = append(plans, p)

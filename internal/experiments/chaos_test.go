@@ -124,6 +124,66 @@ func TestChaosSimInjectsAndRecovers(t *testing.T) {
 	}
 }
 
+// TestChaosBurstyMMPP is the nightly bursty-arrival leg: the plan ×
+// manager matrix rerun with arrivals from the overload-mmpp cohort spec,
+// so overload hits as correlated MMPP trains instead of i.i.d. Poisson
+// thinning. The PR 4 degradation ladder must hold unchanged under that
+// shape: every cell completes work (no crash or deadlock), drift still
+// trips ReTail's retrain, the corrupting predictor still fires, bursts
+// and drift still degrade the tail relative to the (already bursty)
+// baseline, and the whole matrix stays deterministic.
+func TestChaosBurstyMMPP(t *testing.T) {
+	cfg := Quick()
+	cfg.Seed = 42
+	a, err := ChaosAllBursty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosAllBursty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("bursty chaos matrix is not deterministic across in-process runs")
+	}
+	if a.Spec != "overload-mmpp" {
+		t.Fatalf("matrix ran under spec %q, want overload-mmpp", a.Spec)
+	}
+	if len(a.Cells) != len(chaosSimPlans())*len(chaosManagers()) {
+		t.Fatalf("got %d cells, want %d", len(a.Cells), len(chaosSimPlans())*len(chaosManagers()))
+	}
+	for _, c := range a.Cells {
+		if c.Completed == 0 {
+			t.Errorf("%s/%s: no requests completed under correlated bursts", c.Plan, c.Manager)
+		}
+		switch c.Plan {
+		case "drift-step":
+			if c.Injected[fault.SiteDrift] == 0 {
+				t.Errorf("drift-step/%s: drift never recorded", c.Manager)
+			}
+			if c.FaultTail <= c.BaseTail {
+				t.Errorf("drift-step/%s: fault tail %.4f ≤ base tail %.4f",
+					c.Manager, c.FaultTail, c.BaseTail)
+			}
+			if c.Manager == "retail" && c.Retrains == 0 {
+				t.Error("drift-step/retail: drift recovery never engaged under bursty arrivals")
+			}
+		case "overload-burst":
+			if c.FaultTail <= c.BaseTail {
+				t.Errorf("overload-burst/%s: fault tail %.4f ≤ base tail %.4f",
+					c.Manager, c.FaultTail, c.BaseTail)
+			}
+		case "predictor-skew":
+			if c.Manager == "retail" && c.Injected[fault.SitePredict] == 0 {
+				t.Error("predictor-skew/retail: corrupting predictor never fired")
+			}
+		}
+	}
+	if len(a.Audits) == 0 {
+		t.Fatal("no audits attached to the faulted retail runs")
+	}
+}
+
 // liveChaosCase describes the plan-specific health assertions for one
 // wall-clock replay. timing, when set, names assertions that depend on
 // real scheduling (a preempted CI runner can starve the burst window so

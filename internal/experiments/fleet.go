@@ -52,6 +52,17 @@ type FleetOptions struct {
 	// the substrate /metrics scrapes and fleet roll-ups read while a
 	// sweep is running.
 	Registry *telemetry.Registry
+
+	// Spec drives every cell with the cohort population instead of the
+	// single Poisson generator; each cell's aggregate rate is the spec
+	// scaled to the cell's load point. The spec's app overrides App.
+	Spec *workload.Spec
+	// Record, with Spec, taps the (single) cell's pre-routing stream
+	// into FleetSweepResult.Recorded; the sweep must then be exactly one
+	// (load, dispatcher, policy) cell, as must it for Replay, which
+	// substitutes a recorded trace for any generator.
+	Record bool
+	Replay *workload.Trace
 }
 
 func (o FleetOptions) withDefaults(cfg Config) FleetOptions {
@@ -107,6 +118,9 @@ type FleetSweepResult struct {
 	MaxRPSPerNode float64
 	Cells         []FleetCell
 	Winners       []FleetWinner
+	// Recorded is the single cell's pre-routing trace when
+	// FleetOptions.Record was set.
+	Recorded *workload.Trace
 }
 
 // FleetSweep runs the grid. Cells fan out through RunSweep under
@@ -116,10 +130,34 @@ type FleetSweepResult struct {
 // dispatcher, policy innermost — so output is byte-identical at every
 // parallelism setting.
 func FleetSweep(cfg Config, opt FleetOptions) (*FleetSweepResult, error) {
+	// A workload source names its own app before defaults resolve.
+	switch {
+	case opt.Spec != nil && opt.Replay != nil:
+		return nil, fmt.Errorf("experiments: Spec and Replay are mutually exclusive")
+	case opt.Spec != nil:
+		sa, err := opt.Spec.SingleApp()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		opt.App = sa.Name()
+	case opt.Replay != nil:
+		apps := opt.Replay.Header.Apps
+		if len(apps) != 1 || len(opt.Replay.Records) == 0 {
+			return nil, fmt.Errorf("experiments: replay trace needs exactly one app and at least one record")
+		}
+		opt.App = apps[0]
+	case opt.Record:
+		return nil, fmt.Errorf("experiments: Record requires Spec")
+	}
 	opt = opt.withDefaults(cfg)
 	app := workload.ByName(opt.App)
 	if app == nil {
 		return nil, fmt.Errorf("experiments: unknown app %q", opt.App)
+	}
+	if (opt.Record || opt.Replay != nil) &&
+		len(opt.Loads)*len(opt.Dispatchers)*len(opt.Policies) != 1 {
+		return nil, fmt.Errorf("experiments: Record/Replay need exactly one (load, dispatcher, policy) cell, got %d×%d×%d",
+			len(opt.Loads), len(opt.Dispatchers), len(opt.Policies))
 	}
 	platform := cfg.Platform.WithWorkers(opt.WorkersPerNode)
 	cal, err := core.Calibrate(app, platform, cfg.SamplesPerLevel, cfg.Seed)
@@ -147,15 +185,38 @@ func FleetSweep(cfg Config, opt FleetOptions) (*FleetSweepResult, error) {
 				lf, d, pol := lf, d, pol
 				rps := maxPerNode * float64(opt.Nodes) * lf
 				dur := sim.Duration(float64(opt.RequestsPerCell) / rps)
+				warmup := dur / 5
+				if opt.Replay != nil {
+					// Reproduce the recording's horizon (1:5 warmup split,
+					// as in core's replay path).
+					span := sim.Duration(opt.Replay.Records[len(opt.Replay.Records)-1].Arrival)
+					warmup = span / 6
+					dur = span - warmup
+				}
 				cells = append(cells, SweepCell[*cluster.FleetResult]{
 					Label: fmt.Sprintf("fleet/%s/load=%.2f/%s/%s", app.Name(), lf, d, pol),
 					Run: func() (*cluster.FleetResult, error) {
 						fc := cluster.FleetConfig{
 							Cal: cal, Nodes: opt.Nodes, WorkersPerNode: opt.WorkersPerNode,
 							Policy: pol, Dispatcher: d, GeminiNN: cfg.GeminiNN,
-							RPS: rps, Warmup: dur / 5, Duration: dur,
+							RPS: rps, Warmup: warmup, Duration: dur,
 							Seed:   cfg.Seed,
 							Ledger: opt.Ledger,
+						}
+						switch {
+						case opt.Replay != nil:
+							fc.Replay, fc.RPS = opt.Replay, 0
+						case opt.Spec != nil:
+							// Pre-scale so a recorded trace's header carries
+							// the spec actually generated.
+							scaled := opt.Spec.ScaledTo(rps)
+							fc.Spec, fc.RPS = scaled, 0
+							if opt.Record {
+								// Single cell (validated above), so the write
+								// is race-free.
+								res.Recorded = workload.NewTrace(scaled, cfg.Seed)
+								fc.Record = res.Recorded
+							}
 						}
 						if opt.Registry != nil {
 							fc.Registry = opt.Registry

@@ -94,6 +94,26 @@ func EncodeDecisions(ds []policy.ReplayDecision) []byte {
 	return buf
 }
 
+// EncodeClassedDecisions extends EncodeDecisions with each decision's
+// SLO class byte — the multi-class parity encoding. The per-class QoS′
+// already rides in the QoSPrime bits (both adapters record the scaled
+// budget), so this hash pins levels, scaled targets and class
+// attribution together. Single-class streams encode all-zero class
+// bytes; EncodeDecisions stays the format the committed parity golden
+// uses.
+func EncodeClassedDecisions(ds []policy.ReplayDecision) []byte {
+	buf := make([]byte, 0, 13*len(ds))
+	var b [8]byte
+	for _, d := range ds {
+		binary.LittleEndian.PutUint32(b[:4], uint32(d.Level))
+		buf = append(buf, b[:4]...)
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(float64(d.QoSPrime)))
+		buf = append(buf, b[:8]...)
+		buf = append(buf, d.Class)
+	}
+	return buf
+}
+
 // decisionLog collects the simulator adapter's decisions via the
 // manager's attribution sink, projected to the parity tuple.
 type decisionLog struct {
@@ -104,6 +124,7 @@ func (l *decisionLog) RecordDecision(d server.Decision) {
 	l.out = append(l.out, policy.ReplayDecision{
 		Level:    d.Level,
 		QoSPrime: policy.Duration(d.QoSPrime),
+		Class:    d.Class,
 	})
 }
 
@@ -129,6 +150,9 @@ func (rec *traceRecorder) noteRequest(r *workload.Request) {
 	// Moses-class apps only: every feature has zero lateness, so the
 	// observable vector is readiness-independent and can be captured once.
 	rec.tr.Features[r.ID] = manager.AppendObservableFeatures(nil, rec.specs, r, true, false)
+	if rec.tr.Classes != nil {
+		rec.tr.Classes[r.ID] = r.SLOClass
+	}
 }
 
 func (rec *traceRecorder) decision(e *sim.Engine, w *server.Worker, head *workload.Request, progress float64, extra *workload.Request) {

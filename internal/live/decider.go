@@ -76,6 +76,7 @@ func newDecider(cfg ServerConfig, grid *cpu.Grid) (decider, error) {
 			}),
 			grid:     grid,
 			headOnly: cfg.HeadOnly,
+			classes:  policy.NewClassTargets(cfg.Classes),
 		}, nil
 	case "rubik":
 		if len(cfg.ProfileAtMax) == 0 {
@@ -115,12 +116,18 @@ type retailDecider struct {
 	mon      *policy.Monitor
 	grid     *cpu.Grid
 	headOnly bool
+	// classes holds per-SLO-class QoS′ multipliers (empty = identity).
+	// The head's class scales Algorithm 1's budget through the same
+	// policy.ClassTargets.Apply call the simulator adapter makes — the
+	// replay-parity harness holds the two to byte-identical decisions.
+	classes policy.ClassTargets
 }
 
 func (d *retailDecider) Name() string { return "retail" }
 
 func (d *retailDecider) Decide(now float64, p policy.Pipeline) (cpu.Level, float64) {
-	lvl, _ := policy.Alg1(p, now, d.mon.QoSPrime(), d.grid.MaxLevel(), d.headOnly)
+	budget := d.classes.Apply(policy.HeadClass(p), d.mon.QoSPrime())
+	lvl, _ := policy.Alg1(p, now, budget, d.grid.MaxLevel(), d.headOnly)
 	return lvl, p.Predict(lvl, 0)
 }
 

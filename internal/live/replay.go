@@ -19,7 +19,17 @@ import (
 // target, percentile, interval and window policy); pred must be the
 // frozen predictor the recording run used.
 func ReplayDecisions(tr *policy.Trace, pred predict.Predictor, grid *cpu.Grid, mon policy.MonitorConfig) []policy.ReplayDecision {
-	d := &retailDecider{mon: policy.NewMonitor(mon), grid: grid}
+	return ReplayDecisionsClassed(tr, pred, grid, mon, policy.ClassTargets{})
+}
+
+// ReplayDecisionsClassed is ReplayDecisions with per-SLO-class QoS′
+// targets installed in the decider — the multi-class parity check. Each
+// replayed decision records the class-scaled budget (the same
+// ClassTargets.Apply the decider itself computes) and the head's class,
+// so the encoded stream pins the per-class decision dimension too. The
+// empty ClassTargets reduces bit-for-bit to the single-class replay.
+func ReplayDecisionsClassed(tr *policy.Trace, pred predict.Predictor, grid *cpu.Grid, mon policy.MonitorConfig, targets policy.ClassTargets) []policy.ReplayDecision {
+	d := &retailDecider{mon: policy.NewMonitor(mon), grid: grid, classes: targets}
 	pipe := replayPipeline{tr: tr, pred: pred}
 	out := make([]policy.ReplayDecision, 0, len(tr.Events))
 	for i := range tr.Events {
@@ -27,9 +37,10 @@ func ReplayDecisions(tr *policy.Trace, pred predict.Predictor, grid *cpu.Grid, m
 		switch ev.Kind {
 		case policy.DecisionEvent:
 			pipe.ev = ev
-			qp := d.QoSPrime()
+			cls := pipe.Class(0)
+			qp := targets.Apply(cls, d.QoSPrime())
 			lvl, _ := d.Decide(float64(ev.At), &pipe)
-			out = append(out, policy.ReplayDecision{Level: lvl, QoSPrime: policy.Duration(qp)})
+			out = append(out, policy.ReplayDecision{Level: lvl, QoSPrime: policy.Duration(qp), Class: cls})
 		case policy.CompletionEvent:
 			d.Observe(float64(ev.At), ev.Sojourn)
 		case policy.TickEvent:
@@ -77,3 +88,7 @@ func (p *replayPipeline) Predict(lvl cpu.Level, i int) float64 {
 }
 
 func (p *replayPipeline) HeadProgress() float64 { return p.ev.Progress }
+
+// Class implements policy.ClassedPipeline from the trace's class side
+// table; a nil map or missing entry is class 0 (pre-class traces).
+func (p *replayPipeline) Class(i int) uint8 { return p.tr.Classes[p.id(i)] }

@@ -27,6 +27,10 @@ type Request struct {
 	ID       uint64    `json:"id"`
 	GenNs    int64     `json:"gen_ns"`
 	Features []float64 `json:"features"`
+	// Class is the request's SLO-class index in the server's configured
+	// class table (ServerConfig.Classes); absent/0 means the single-class
+	// behavior, so pre-class clients interoperate unchanged.
+	Class uint8 `json:"class,omitempty"`
 }
 
 // Response returns the server-side timestamps so the client can compute
@@ -91,6 +95,14 @@ type ServerConfig struct {
 	// keeps DVFS retry/fallback at safe defaults and leaves admission
 	// control and deadline timeouts off.
 	Degrade DegradePolicy
+	// Classes holds per-SLO-class QoS′ multipliers indexed by
+	// Request.Class (a cohort spec's class table, workload.Spec.Classes).
+	// Empty keeps every class on the unscaled QoS′ — the single-class
+	// behavior. The retail decider scales Algorithm 1's budget by the
+	// head's class, and admission shedding scales its drain budget by the
+	// arriving request's class, both through the one shared
+	// policy.ClassTargets.Apply.
+	Classes []float64
 }
 
 // connIO is one connection's response plumbing: resp is an MPSC channel
@@ -148,8 +160,9 @@ type Server struct {
 	jsqLoad func(int) int
 
 	// degrade holds the shared shed/deadline predicates derived from the
-	// DegradePolicy knobs.
+	// DegradePolicy knobs; classes the per-SLO-class QoS′ multipliers.
 	degrade policy.Degrade
+	classes policy.ClassTargets
 
 	wake []chan struct{}
 	wg   sync.WaitGroup
@@ -208,6 +221,10 @@ func (p *livePipeline) Predict(lvl cpu.Level, i int) float64 {
 // counter (the real system would read hardware cycle counters here).
 func (p *livePipeline) HeadProgress() float64 { return 0 }
 
+// Class implements policy.ClassedPipeline: the wire request carries its
+// SLO-class index.
+func (p *livePipeline) Class(i int) uint8 { return p.req(i).req.Class }
+
 // toS converts a wall-clock UnixNano stamp to the runtime's
 // float64-seconds timebase.
 func (s *Server) toS(ns int64) float64 { return float64(ns-s.epochNs) / 1e9 }
@@ -257,6 +274,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		ShedFactor:     s.policy.ShedFactor,
 		DeadlineFactor: s.policy.DeadlineFactor,
 	}
+	s.classes = policy.NewClassTargets(cfg.Classes)
 	switch {
 	case cfg.TraceCapacity == 0:
 		s.spanCap = 2048
@@ -403,7 +421,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		// Reset before decode: json reuses the Features backing array and
 		// leaves absent fields untouched.
-		q.req.ID, q.req.GenNs, q.req.Features = 0, 0, q.req.Features[:0]
+		q.req.ID, q.req.GenNs, q.req.Features, q.req.Class = 0, 0, q.req.Features[:0], 0
 		if err := dec.Decode(&q.req); err != nil {
 			s.reqPool.Put(q)
 			return
@@ -443,7 +461,10 @@ func (s *Server) enqueue(q *queuedReq) {
 	}
 	s.mu.Lock()
 	best := s.jsq.Pick(len(s.queues), s.jsqLoad)
-	if s.degrade.ShouldShed(len(s.queues[best]), svcAtMax, s.dec.QoSPrime()) {
+	// The arriving request's SLO class scales the shed budget: a batch
+	// request is held to its relaxed target, an interactive one to its
+	// tightened target (identity when no classes are configured).
+	if s.degrade.ShouldShed(len(s.queues[best]), svcAtMax, s.classes.Apply(q.req.Class, s.dec.QoSPrime())) {
 		s.mu.Unlock()
 		s.deg.shed.Add(1)
 		s.metrics.incShed()

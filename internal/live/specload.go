@@ -1,0 +1,258 @@
+// Spec-driven load generation: replaying a recorded v2 trace (or a
+// pre-drawn cohort-spec schedule, which is the same thing — see
+// workload.RecordTrace) over the wire. Unlike RunLoad's per-connection
+// Poisson schedule, every send here happens at the trace's recorded
+// arrival offset, so two loadgen runs against the same trace offer the
+// same request sequence at the same instants — the wall-clock analogue
+// of the simulator's byte-identical replay, up to scheduler jitter the
+// clock owns. Latency is attributed per SLO class from the trace's class
+// table.
+package live
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retail/internal/stats"
+	"retail/internal/workload"
+)
+
+// SpecLoadConfig drives RunSpecLoad.
+type SpecLoadConfig struct {
+	Addr string
+	// Trace supplies the schedule: arrivals, features and SLO classes.
+	// Build one with workload.RecordTrace (from a spec) or load a
+	// recorded file with workload.ReadTraceFile.
+	Trace *workload.Trace
+	// Conns splits the stream round-robin by record index (default 8);
+	// each connection keeps its subset's time order.
+	Conns int
+	// DrainTimeout bounds the wait for in-flight responses after the
+	// last send (0 = 2s).
+	DrainTimeout time.Duration
+}
+
+// ClassLoadStats is one SLO class's client-observed share of a run.
+type ClassLoadStats struct {
+	Class     string
+	Scale     float64 // the class's QoS′ multiplier from the trace header
+	Completed int
+	Dropped   int
+	Latency   stats.HDR
+}
+
+// SpecLoadResult aggregates one spec-driven run.
+type SpecLoadResult struct {
+	Sent       int
+	Completed  int
+	Dropped    int
+	Unanswered int
+	Elapsed    time.Duration
+	OfferedRPS float64
+	SentRPS    float64
+	Latency    stats.HDR
+	// Classes follows the trace header's class table order; empty when
+	// the trace carries no class table.
+	Classes []ClassLoadStats
+}
+
+// Report formats the run, one HDR line overall plus one per SLO class.
+func (r *SpecLoadResult) Report() string {
+	d := func(ns int64) time.Duration { return time.Duration(ns) }
+	out := fmt.Sprintf(`sent        %d in %v (offered %.0f RPS, achieved %.0f RPS)
+completed   %d   dropped %d   unanswered %d
+latency     min %v  p50 %v  p90 %v  p99 %v  p99.9 %v  max %v`,
+		r.Sent, r.Elapsed.Round(time.Millisecond), r.OfferedRPS, r.SentRPS,
+		r.Completed, r.Dropped, r.Unanswered,
+		d(r.Latency.Min()), d(r.Latency.Quantile(0.50)), d(r.Latency.Quantile(0.90)),
+		d(r.Latency.Quantile(0.99)), d(r.Latency.Quantile(0.999)), d(r.Latency.Max()))
+	for i := range r.Classes {
+		c := &r.Classes[i]
+		out += fmt.Sprintf("\nclass %-12s scale %.2f  completed %d  dropped %d  p50 %v  p99 %v  max %v",
+			c.Class, c.Scale, c.Completed, c.Dropped,
+			d(c.Latency.Quantile(0.50)), d(c.Latency.Quantile(0.99)), d(c.Latency.Max()))
+	}
+	return out
+}
+
+// connSpecLoad is one connection's private tally, merged after the run.
+type connSpecLoad struct {
+	sent, completed, dropped int
+	sendDur                  time.Duration
+	lat                      stats.HDR
+	classLat                 []stats.HDR
+	classCompleted           []int
+	classDropped             []int
+	err                      error
+}
+
+// RunSpecLoad executes one trace-scheduled run and blocks until the
+// send window plus drain completes.
+func RunSpecLoad(cfg SpecLoadConfig) (*SpecLoadResult, error) {
+	if cfg.Trace == nil || len(cfg.Trace.Records) == 0 {
+		return nil, fmt.Errorf("live: SpecLoadConfig needs a non-empty Trace")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Conns > len(cfg.Trace.Records) {
+		cfg.Conns = len(cfg.Trace.Records)
+	}
+	drain := cfg.DrainTimeout
+	if drain <= 0 {
+		drain = 2 * time.Second
+	}
+	nClasses := len(cfg.Trace.Header.Classes)
+
+	states := make([]*connSpecLoad, cfg.Conns)
+	conns := make([]net.Conn, cfg.Conns)
+	for c := range conns {
+		conn, err := net.Dial("tcp", cfg.Addr)
+		if err != nil {
+			for _, open := range conns[:c] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("live: dial: %w", err)
+		}
+		conns[c] = conn
+		states[c] = &connSpecLoad{
+			classLat:       make([]stats.HDR, nClasses),
+			classCompleted: make([]int, nClasses),
+			classDropped:   make([]int, nClasses),
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := range conns {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			runConnSpecLoad(conns[idx], states[idx], cfg.Trace, idx, cfg.Conns, start, drain)
+		}(c)
+	}
+	wg.Wait()
+
+	res := &SpecLoadResult{}
+	span := float64(cfg.Trace.Records[len(cfg.Trace.Records)-1].Arrival)
+	if span > 0 {
+		res.OfferedRPS = float64(len(cfg.Trace.Records)) / span
+	}
+	for i := 0; i < nClasses; i++ {
+		scale := 1.0
+		if i < len(cfg.Trace.Header.Scales) {
+			scale = cfg.Trace.Header.Scales[i]
+		}
+		res.Classes = append(res.Classes, ClassLoadStats{
+			Class: cfg.Trace.Header.Classes[i], Scale: scale,
+		})
+	}
+	for _, st := range states {
+		if st.err != nil {
+			return nil, st.err
+		}
+		res.Sent += st.sent
+		res.Completed += st.completed
+		res.Dropped += st.dropped
+		if st.sendDur > res.Elapsed {
+			res.Elapsed = st.sendDur
+		}
+		res.Latency.Merge(&st.lat)
+		for i := 0; i < nClasses; i++ {
+			res.Classes[i].Completed += st.classCompleted[i]
+			res.Classes[i].Dropped += st.classDropped[i]
+			res.Classes[i].Latency.Merge(&st.classLat[i])
+		}
+	}
+	res.Unanswered = res.Sent - res.Completed - res.Dropped
+	if res.Elapsed > 0 {
+		res.SentRPS = float64(res.Sent) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// runConnSpecLoad drives one connection through its round-robin slice of
+// the trace: a sender pacing the recorded schedule and a receiver
+// attributing responses to SLO classes by record index (request ID is
+// 1 + record index, so the class lookup is a table read).
+func runConnSpecLoad(conn net.Conn, st *connSpecLoad, tr *workload.Trace,
+	connIdx, conns int, start time.Time, drain time.Duration) {
+	var finalSent, answered atomic.Int64
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		dec := json.NewDecoder(conn)
+		for {
+			var resp Response
+			if err := dec.Decode(&resp); err != nil {
+				return
+			}
+			cls := -1
+			if rec := int(resp.ID) - 1; rec >= 0 && rec < len(tr.Records) {
+				if c := int(tr.Records[rec].Class); c < len(st.classLat) {
+					cls = c
+				}
+			}
+			if resp.Dropped {
+				st.dropped++
+				if cls >= 0 {
+					st.classDropped[cls]++
+				}
+			} else {
+				st.completed++
+				soj := time.Now().UnixNano() - resp.GenNs
+				st.lat.Record(soj)
+				if cls >= 0 {
+					st.classCompleted[cls]++
+					st.classLat[cls].Record(soj)
+				}
+			}
+			if n, fs := answered.Add(1), finalSent.Load(); fs > 0 && n >= fs {
+				return
+			}
+		}
+	}()
+	defer func() { conn.Close(); <-recvDone }()
+
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	enc := json.NewEncoder(bw)
+	req := Request{}
+	for i := connIdx; i < len(tr.Records); i += conns {
+		rec := &tr.Records[i]
+		target := start.Add(time.Duration(rec.ArrivalNs()))
+		if d := time.Until(target); d > 0 {
+			// Ahead of schedule: flush buffered requests before sleeping,
+			// exactly as RunLoad does.
+			if err := bw.Flush(); err != nil {
+				st.err = fmt.Errorf("live: flush: %w", err)
+				return
+			}
+			time.Sleep(d)
+		}
+		req.ID = uint64(i) + 1
+		req.GenNs = target.UnixNano() // scheduled time: no coordinated omission
+		req.Features = rec.Features
+		req.Class = rec.Class
+		if err := enc.Encode(&req); err != nil {
+			st.err = fmt.Errorf("live: send: %w", err)
+			return
+		}
+		st.sent++
+	}
+	if err := bw.Flush(); err != nil {
+		st.err = fmt.Errorf("live: flush: %w", err)
+		return
+	}
+	st.sendDur = time.Since(start)
+	finalSent.Store(int64(st.sent))
+	if answered.Load() >= int64(st.sent) {
+		return
+	}
+	conn.SetReadDeadline(time.Now().Add(drain))
+	<-recvDone
+}

@@ -130,6 +130,11 @@ type ReTail struct {
 
 	retraining bool
 
+	// classes holds the per-SLO-class QoS′ multipliers (empty = identity,
+	// the single-class behavior). The head request's class scales the
+	// budget handed to Algorithm 1 on every decision.
+	classes policy.ClassTargets
+
 	// sink receives decision-attribution records (nil = tracing off; the
 	// decide path then stays allocation-free and byte-identical to the
 	// untraced build). bindID tracks Algorithm 1's binding request — the
@@ -238,6 +243,12 @@ func (m *ReTail) Instrument(reg *telemetry.Registry, app string) {
 // behavior: the attribution lookups are host-side reads of the prediction
 // memo and are not charged to the modeled inference budget.
 func (m *ReTail) SetDecisionSink(sink server.DecisionSink) { m.sink = sink }
+
+// SetClassTargets installs per-SLO-class QoS′ multipliers (from a cohort
+// spec's class table). The empty value restores the single-class
+// behavior; policy.ClassTargets.Apply is the bit-identity then, so
+// pre-class goldens are unaffected.
+func (m *ReTail) SetClassTargets(t policy.ClassTargets) { m.classes = t }
 
 // Traces returns the recorded QoS′ and RMSE/QoS timelines.
 func (m *ReTail) Traces() (qosPrime, rmse []TracePoint) {
@@ -469,7 +480,12 @@ func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Req
 	m.pipe.queue = w.Queue()
 	m.pipe.extra = extra
 	m.pipe.headProgress = headProgress
-	lvl, bind := policy.Alg1(&m.pipe, float64(e.Now()), m.mon.QoSPrime(), m.grid.MaxLevel(), m.cfg.HeadOnly)
+	// The head's SLO class scales the budget (identity when no class
+	// targets are configured) — the live decider applies the exact same
+	// policy.ClassTargets.Apply call, which is what keeps the two
+	// adapters' decision streams byte-identical under replay.
+	budget := m.classes.Apply(head.SLOClass, m.mon.QoSPrime())
+	lvl, bind := policy.Alg1(&m.pipe, float64(e.Now()), budget, m.grid.MaxLevel(), m.cfg.HeadOnly)
 	m.bindID = m.pipe.req(bind).ID
 	// Drop the request references so completed requests are collectable
 	// between decisions.
@@ -545,7 +561,8 @@ func (m *ReTail) decide(e *sim.Engine, w *server.Worker, head *workload.Request,
 			Level:            lvl,
 			Binding:          m.bindID,
 			QueueLen:         len(w.Queue()),
-			QoSPrime:         sim.Duration(m.mon.QoSPrime()),
+			QoSPrime:         sim.Duration(m.classes.Apply(head.SLOClass, m.mon.QoSPrime())),
+			Class:            head.SLOClass,
 			DecisionDelay:    cost,
 			PredictedService: m.peekPredict(lvl, head),
 		})

@@ -226,6 +226,28 @@ type SimReport struct {
 	AvgPowerW float64 `json:"avg_power_w"`
 
 	Ledger []NodeSummary `json:"ledger,omitempty"`
+
+	// Classes breaks latency down per SLO class when the run was driven
+	// by a cohort spec or recorded trace (absent otherwise — the field is
+	// additive, so single-class reports are byte-identical to version-1
+	// reports without it).
+	Classes []SLOClassLatency `json:"classes,omitempty"`
+}
+
+// SLOClassLatency is one SLO class's slice of a run: HDR-measured
+// quantiles against the class's scaled QoS target. Order follows the
+// generating spec's class table.
+type SLOClassLatency struct {
+	Class     string  `json:"class"`
+	QoSScale  float64 `json:"qos_scale"`
+	Completed int     `json:"completed"`
+	Dropped   int     `json:"dropped"`
+	P50       float64 `json:"p50_s"`
+	P95       float64 `json:"p95_s"`
+	P99       float64 `json:"p99_s"`
+	TailAtQoS float64 `json:"tail_at_qos_s"`
+	QoSTarget float64 `json:"qos_target_s"`
+	QoSMet    bool    `json:"qos_met"`
 }
 
 // LoadgenReport is the open-loop load-generation payload. A loadgen run
@@ -247,6 +269,9 @@ type LoadgenReport struct {
 	ElapsedS   float64 `json:"elapsed_s"`
 
 	LatencyS LatencyQuantiles `json:"latency_s"`
+
+	// Classes mirrors SimReport.Classes for spec-driven load runs.
+	Classes []SLOClassLatency `json:"classes,omitempty"`
 }
 
 // LatencyQuantiles is the standard quantile ladder in seconds.

@@ -49,13 +49,20 @@ type TraceEvent struct {
 type Trace struct {
 	Features map[uint64][]float64
 	Gens     map[uint64]Time
-	Events   []TraceEvent
+	// Classes maps request IDs to SLO-class indexes. Nil (or a missing
+	// entry) means class 0 — the single-class behavior every pre-class
+	// recording had, so old traces replay unchanged.
+	Classes map[uint64]uint8
+	Events  []TraceEvent
 }
 
-// ReplayDecision is one replayed decision outcome: the chosen level and
-// the QoS′ in force when it was made. Comparing sequences of these
-// (byte-serialized) is the parity criterion.
+// ReplayDecision is one replayed decision outcome: the chosen level, the
+// QoS′ in force when it was made (after per-class scaling — the budget
+// Alg1 enforced) and the head's SLO class. Comparing sequences of these
+// (byte-serialized) is the parity criterion; Class is 0 for single-class
+// runs, so pre-class encodings are unchanged.
 type ReplayDecision struct {
 	Level    cpu.Level
 	QoSPrime Duration
+	Class    uint8
 }

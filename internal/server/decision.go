@@ -37,8 +37,13 @@ type Decision struct {
 	// decision time.
 	QueueLen int
 	// QoSPrime is the manager's internal latency target at decision time
-	// (managers without a latency monitor report their fixed QoS).
+	// (managers without a latency monitor report their fixed QoS), after
+	// any per-SLO-class scaling (policy.ClassTargets) for the head's
+	// class — the budget Algorithm 1 actually enforced.
 	QoSPrime sim.Duration
+	// Class is the head request's SLO class index (0 for single-class
+	// workloads).
+	Class uint8
 	// DecisionDelay is the modeled time until the frequency write lands
 	// (inference count × per-inference cost for ReTail, the NN latency
 	// for Gemini).

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// The paper's client is a single open-loop Poisson source, which cannot
+// express what a real fleet sees: correlated bursts, heavy-tailed
+// inter-arrival gaps, diurnal rate envelopes. This file models the
+// arrival processes a cohort spec (spec.go) can choose from. Every
+// process is a renewal (or Markov-modulated) gap generator normalized so
+// that NextGap at rate r has mean 1/r — cohorts can swap burstiness
+// without changing offered load.
+//
+//	poisson  exponential gaps, index of dispersion 1 (the paper's client)
+//	gamma    gamma(shape k) gaps; k < 1 makes gaps heavy-tailed and the
+//	         count process over-dispersed (IoD → 1/k)
+//	weibull  weibull(shape k) gaps; k < 1 likewise bursty
+//	mmpp     2-state Markov-modulated Poisson: exponentially-distributed
+//	         burst/idle episodes whose rates differ by the configured
+//	         ratio — the only process here whose bursts are *correlated*
+//	         in time rather than i.i.d. gap noise
+//
+// Processes may be stateful (MMPP tracks its current state), so each
+// client owns its own instance and its own RNG stream: the merged cohort
+// stream is deterministic because every draw is attributable to exactly
+// one (client, call-index) pair.
+
+// ArrivalKind names an arrival process in a cohort spec.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalGamma   = "gamma"
+	ArrivalWeibull = "weibull"
+	ArrivalMMPP    = "mmpp"
+)
+
+// ArrivalSpec selects and parameterizes one cohort's arrival process.
+type ArrivalSpec struct {
+	// Kind is one of poisson, gamma, weibull, mmpp.
+	Kind string `json:"kind"`
+	// Shape is the gamma/weibull shape parameter; values below 1 make
+	// the process bursty (ignored by poisson and mmpp).
+	Shape float64 `json:"shape,omitempty"`
+	// Burst is the MMPP burst-to-idle rate ratio (> 1).
+	Burst float64 `json:"burst,omitempty"`
+	// BurstS and IdleS are the MMPP mean episode lengths in seconds.
+	BurstS float64 `json:"burst_s,omitempty"`
+	IdleS  float64 `json:"idle_s,omitempty"`
+}
+
+// Validate checks the spec's parameters for its kind.
+func (a ArrivalSpec) Validate() error {
+	switch a.Kind {
+	case ArrivalPoisson:
+		if a.Shape != 0 || a.Burst != 0 || a.BurstS != 0 || a.IdleS != 0 {
+			return fmt.Errorf("workload: poisson arrival takes no parameters")
+		}
+	case ArrivalGamma, ArrivalWeibull:
+		if a.Shape <= 0 {
+			return fmt.Errorf("workload: %s arrival needs shape > 0, got %g", a.Kind, a.Shape)
+		}
+		if a.Burst != 0 || a.BurstS != 0 || a.IdleS != 0 {
+			return fmt.Errorf("workload: %s arrival takes only shape", a.Kind)
+		}
+	case ArrivalMMPP:
+		if a.Burst <= 1 {
+			return fmt.Errorf("workload: mmpp arrival needs burst ratio > 1, got %g", a.Burst)
+		}
+		if a.BurstS <= 0 || a.IdleS <= 0 {
+			return fmt.Errorf("workload: mmpp arrival needs positive burst_s and idle_s, got %g/%g", a.BurstS, a.IdleS)
+		}
+		if a.Shape != 0 {
+			return fmt.Errorf("workload: mmpp arrival does not take shape")
+		}
+	default:
+		return fmt.Errorf("workload: unknown arrival kind %q (want %s, %s, %s or %s)",
+			a.Kind, ArrivalPoisson, ArrivalGamma, ArrivalWeibull, ArrivalMMPP)
+	}
+	return nil
+}
+
+// arrivalProcess generates the next inter-arrival gap (seconds) for the
+// given instantaneous rate. Implementations may carry state across calls
+// (MMPP's modulating chain); the contract is only that the long-run mean
+// gap at constant rate r is 1/r.
+type arrivalProcess interface {
+	NextGap(rng *rand.Rand, rate float64) float64
+}
+
+// newArrival builds a fresh (per-client) process instance. The spec must
+// already be validated.
+func newArrival(a ArrivalSpec) arrivalProcess {
+	switch a.Kind {
+	case ArrivalGamma:
+		return gammaArrival{shape: a.Shape}
+	case ArrivalWeibull:
+		// Precompute the scale normalizer: E[gap] = λ·Γ(1+1/k), so
+		// λ = 1/(r·Γ(1+1/k)) keeps the mean at 1/r.
+		return weibullArrival{shape: a.Shape, norm: math.Gamma(1 + 1/a.Shape)}
+	case ArrivalMMPP:
+		// Normalize the two state multipliers so the stationary mean rate
+		// equals the configured rate: with pB the burst-state occupancy,
+		// pB·mB + (1−pB)·mI = 1 and mB/mI = Burst.
+		pB := a.BurstS / (a.BurstS + a.IdleS)
+		mI := 1 / (pB*a.Burst + (1 - pB))
+		return &mmppArrival{
+			burstMult: a.Burst * mI,
+			idleMult:  mI,
+			burstMean: a.BurstS,
+			idleMean:  a.IdleS,
+		}
+	default:
+		return poissonArrival{}
+	}
+}
+
+// poissonArrival is the paper's client: exponential gaps.
+type poissonArrival struct{}
+
+func (poissonArrival) NextGap(rng *rand.Rand, rate float64) float64 {
+	return rng.ExpFloat64() / rate
+}
+
+// gammaArrival draws gamma(shape k) gaps scaled to mean 1/rate. The
+// gamma mean is k·θ, so θ = 1/(k·rate).
+type gammaArrival struct{ shape float64 }
+
+func (g gammaArrival) NextGap(rng *rand.Rand, rate float64) float64 {
+	return gammaDraw(rng, g.shape) / (g.shape * rate)
+}
+
+// gammaDraw samples gamma(k, 1) via Marsaglia–Tsang, boosted for k < 1
+// (G(k) = G(k+1)·U^{1/k}). Only rng draws feed it, so the sequence is a
+// pure function of the client's RNG stream.
+func gammaDraw(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		return gammaDraw(rng, k+1) * math.Pow(rng.Float64(), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// weibullArrival draws weibull(shape k) gaps scaled to mean 1/rate via
+// inversion: gap = λ·(−ln U)^{1/k}.
+type weibullArrival struct{ shape, norm float64 }
+
+func (w weibullArrival) NextGap(rng *rand.Rand, rate float64) float64 {
+	u := rng.Float64()
+	return math.Pow(-math.Log(1-u), 1/w.shape) / (rate * w.norm)
+}
+
+// mmppArrival is a 2-state Markov-modulated Poisson process: the client
+// alternates between exponentially-distributed burst and idle episodes;
+// within an episode arrivals are Poisson at rate·mult. Unlike the i.i.d.
+// gap processes, consecutive arrivals inside one burst are correlated —
+// the overload shape the degradation ladder must survive.
+type mmppArrival struct {
+	burstMult, idleMult float64
+	burstMean, idleMean float64
+	inBurst             bool
+	holdRemain          float64 // seconds left in the current episode
+	initialized         bool
+}
+
+func (m *mmppArrival) NextGap(rng *rand.Rand, rate float64) float64 {
+	if !m.initialized {
+		// Start in the idle state with a fresh episode; the first draw
+		// sequence is then a pure function of the client's RNG stream.
+		m.inBurst = false
+		m.holdRemain = rng.ExpFloat64() * m.idleMean
+		m.initialized = true
+	}
+	elapsed := 0.0
+	for {
+		mult := m.idleMult
+		if m.inBurst {
+			mult = m.burstMult
+		}
+		gap := rng.ExpFloat64() / (rate * mult)
+		if gap <= m.holdRemain {
+			m.holdRemain -= gap
+			return elapsed + gap
+		}
+		// The candidate arrival falls past the episode boundary: advance
+		// to the switch, flip state, draw a fresh episode length and try
+		// again (the exponential's memorylessness makes the re-draw
+		// statistically exact).
+		elapsed += m.holdRemain
+		m.inBurst = !m.inBurst
+		next := m.idleMean
+		if m.inBurst {
+			next = m.burstMean
+		}
+		m.holdRemain = rng.ExpFloat64() * next
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Diurnal rate envelope.
+
+// EnvelopePeriod is one sinusoidal component of a cohort's rate
+// envelope. A multi-period envelope superimposes components (a daily
+// cycle plus a weekly one, say); the instantaneous rate multiplier is
+//
+//	1 + Σ_j Amplitude_j · sin(2π·(t/Period_j + Phase_j))
+//
+// clamped below at envelopeFloor so the rate never reaches zero.
+type EnvelopePeriod struct {
+	// PeriodS is the component's period in (virtual) seconds.
+	PeriodS float64 `json:"period_s"`
+	// Amplitude is the component's swing as a fraction of the base rate;
+	// amplitudes across components must sum to at most 0.95.
+	Amplitude float64 `json:"amplitude"`
+	// Phase shifts the component as a fraction of its period.
+	Phase float64 `json:"phase,omitempty"`
+}
+
+const envelopeFloor = 0.05
+
+// EnvelopeAt evaluates a multi-period envelope at time t (seconds).
+func EnvelopeAt(env []EnvelopePeriod, t float64) float64 {
+	mult := 1.0
+	for _, p := range env {
+		mult += p.Amplitude * math.Sin(2*math.Pi*(t/p.PeriodS+p.Phase))
+	}
+	if mult < envelopeFloor {
+		mult = envelopeFloor
+	}
+	return mult
+}
+
+// validateEnvelope checks periods and the amplitude budget.
+func validateEnvelope(env []EnvelopePeriod) error {
+	sum := 0.0
+	for i, p := range env {
+		if p.PeriodS <= 0 {
+			return fmt.Errorf("workload: envelope period %d has non-positive period_s %g", i, p.PeriodS)
+		}
+		if p.Amplitude <= 0 {
+			return fmt.Errorf("workload: envelope period %d has non-positive amplitude %g", i, p.Amplitude)
+		}
+		if p.Phase < 0 || p.Phase >= 1 {
+			return fmt.Errorf("workload: envelope period %d has phase %g outside [0,1)", i, p.Phase)
+		}
+		sum += p.Amplitude
+	}
+	if sum > 0.95 {
+		return fmt.Errorf("workload: envelope amplitudes sum to %g > 0.95 (rate would cross zero)", sum)
+	}
+	return nil
+}

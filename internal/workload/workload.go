@@ -79,6 +79,12 @@ type Request struct {
 	ID  uint64
 	App string
 
+	// SLOClass indexes the request's SLO class in the generating spec's
+	// class table (Spec.Classes). The paper's single-class client always
+	// leaves it 0; cohort specs can map classes to distinct QoS′ scales
+	// so the policy layer sheds and clocks classes differently.
+	SLOClass uint8
+
 	Gen   sim.Time
 	Recv  sim.Time
 	Start sim.Time
