@@ -35,6 +35,13 @@
 #                        byte-identity, record→replay→re-record round trips
 #   make workload-golden rewrite the workload sweep golden after an
 #                        intentional change
+#   make tune-check      policy-params + digital-twin gate: params schema
+#                        round-trip/SHA pins, search-spec enumeration, and
+#                        the fixed-seed retail-tune winners table vs its
+#                        committed golden with -parallel 1 vs 8 byte
+#                        identity and exact winner-replay reproduction
+#   make tune-golden     rewrite the tune winners golden after an
+#                        intentional change
 #   make smoke   build-and-run every example and command briefly
 #   make check   build + vet + test (the pre-commit bundle)
 
@@ -55,7 +62,7 @@ GO ?= go
 HOT_BENCH = 'Benchmark(Engine(AfterFire|ScheduleCancel)|RetailDecide|Sweep|Cluster)'
 HOT_PKGS  = ./internal/sim ./internal/manager ./internal/experiments ./internal/cluster
 
-.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden parity-check parity-golden cluster-check cluster-golden obs-check obs-golden workload-check workload-golden smoke check clean
+.PHONY: build test race vet bench bench-check bench-baseline trace-check trace-golden chaos-check chaos-golden parity-check parity-golden cluster-check cluster-golden obs-check obs-golden workload-check workload-golden tune-check tune-golden smoke check clean
 
 build:
 	$(GO) build ./...
@@ -157,6 +164,22 @@ workload-check:
 
 workload-golden:
 	$(GO) test -run TestWorkloadSweepGolden -count=1 ./internal/experiments -update
+
+# The policy-parameterization and digital-twin gate (DESIGN.md §14):
+# params JSON round-trip bit-equality, strict unknown-field rejection,
+# the zero-value→historical-default identity, pinned canonical SHAs,
+# search-spec enumeration contracts (grid odometer order, seeded random
+# determinism, rejection surface), and the fixed-seed retail-tune
+# winners table byte-compared against its golden — including -parallel
+# 1 vs 8 byte-identity and the exact standalone reproduction of the
+# winner's scored metrics from its emitted params.json. tune-golden
+# rewrites the winners golden after an intentional change.
+tune-check:
+	$(GO) test -count=1 -run 'TestParams|TestMonitorGuardBand|TestQuantileFallback' ./internal/policy
+	$(GO) test -count=1 -run 'TestSpec|TestTune' ./internal/tune
+
+tune-golden:
+	$(GO) test -run TestTuneGolden -count=1 ./internal/tune -update
 
 smoke:
 	$(GO) test -run TestSmoke -v .

@@ -20,24 +20,26 @@ import (
 
 	"retail/internal/experiments"
 	"retail/internal/fault"
+	"retail/internal/policy"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
 )
 
 func main() {
 	var (
-		planName = flag.String("plan", "overload-burst", "fault plan to replay (see -list)")
-		list     = flag.Bool("list", false, "list the built-in fault plans and exit")
-		simAll   = flag.Bool("sim", false, "run the deterministic simulator chaos matrix instead of the live runtime")
-		bursty   = flag.Bool("bursty", false, "with -sim: drive arrivals from the overload-mmpp cohort spec (correlated bursts)")
-		appName  = flag.String("app", "moses", "application model")
-		workers  = flag.Int("workers", 2, "live worker goroutines")
-		rps      = flag.Float64("rps", 60, "live client request rate (wall clock)")
-		seconds  = flag.Float64("seconds", 10, "scenario length on the canonical plan clock")
-		scale    = flag.Float64("scale", 0.2, "time compression: wall seconds per canonical second")
-		samples  = flag.Int("samples", 300, "calibration samples per frequency level")
-		seed     = flag.Int64("seed", 42, "seed for calibration, injection and load")
-		metrics  = flag.Bool("metrics", false, "print the final Prometheus scrape after the run")
+		planName   = flag.String("plan", "overload-burst", "fault plan to replay (see -list)")
+		list       = flag.Bool("list", false, "list the built-in fault plans and exit")
+		simAll     = flag.Bool("sim", false, "run the deterministic simulator chaos matrix instead of the live runtime")
+		bursty     = flag.Bool("bursty", false, "with -sim: drive arrivals from the overload-mmpp cohort spec (correlated bursts)")
+		appName    = flag.String("app", "moses", "application model")
+		workers    = flag.Int("workers", 2, "live worker goroutines")
+		rps        = flag.Float64("rps", 60, "live client request rate (wall clock)")
+		seconds    = flag.Float64("seconds", 10, "scenario length on the canonical plan clock")
+		scale      = flag.Float64("scale", 0.2, "time compression: wall seconds per canonical second")
+		samples    = flag.Int("samples", 300, "calibration samples per frequency level")
+		seed       = flag.Int64("seed", 42, "seed for calibration, injection and load")
+		metrics    = flag.Bool("metrics", false, "print the final Prometheus scrape after the run")
+		paramsPath = flag.String("params", "", "serializable policy params JSON (empty = historical defaults)")
 	)
 	flag.Parse()
 
@@ -48,9 +50,16 @@ func main() {
 		return
 	}
 
+	params, err := policy.LoadParams(*paramsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "retail-chaos: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *simAll {
 		cfg := experiments.Quick()
 		cfg.Seed = *seed
+		cfg.Params = params
 		run := experiments.ChaosAll
 		if *bursty {
 			run = experiments.ChaosAllBursty
@@ -88,6 +97,7 @@ func main() {
 		TimeScale:       *scale,
 		SamplesPerLevel: *samples,
 		Seed:            *seed,
+		Params:          params,
 		Registry:        reg,
 	})
 	if err != nil {

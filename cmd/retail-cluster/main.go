@@ -32,6 +32,7 @@ import (
 	"retail/internal/experiments"
 	"retail/internal/nn"
 	"retail/internal/obs"
+	"retail/internal/policy"
 	"retail/internal/sim"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
@@ -58,8 +59,15 @@ func main() {
 		specName    = flag.String("spec", "", "cohort workload spec driving every cell: a builtin name ("+strings.Join(workload.BuiltinSpecNames(), ", ")+") or a JSON file")
 		recordPath  = flag.String("record", "", "record the single cell's pre-routing stream to this v2 trace file (requires -spec and a 1×1×1 sweep)")
 		replayPath  = flag.String("replay", "", "replay a recorded v2 trace through the single cell instead of generating load (excludes -spec/-record)")
+		paramsPath  = flag.String("params", "", "serializable policy params JSON applied to every node (empty = historical defaults)")
 	)
 	flag.Parse()
+
+	params, err := policy.LoadParams(*paramsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "retail-cluster:", err)
+		os.Exit(2)
+	}
 
 	if *tiers != "" {
 		if err := budgetReport(strings.Split(*tiers, ","), *samples, *seed); err != nil {
@@ -103,6 +111,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Parallel = *parallel
+	cfg.Params = params
 
 	opt := experiments.FleetOptions{
 		App:             *app,
@@ -266,6 +275,7 @@ func metricsSnapshot(cfg experiments.Config, opt experiments.FleetOptions, res *
 		Cal: cal, Nodes: res.Nodes, WorkersPerNode: res.WorkersPerNode,
 		Policy: cell.Policy, Dispatcher: cell.Dispatcher, GeminiNN: nnCfg,
 		RPS: rps, Warmup: dur / 5, Duration: dur, Seed: cfg.Seed,
+		Params:   cfg.Params,
 		Registry: reg,
 		Labels: []telemetry.Label{
 			telemetry.L("dispatcher", cell.Dispatcher),

@@ -33,6 +33,7 @@ import (
 	"retail/internal/fault"
 	"retail/internal/live"
 	"retail/internal/obs"
+	"retail/internal/policy"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
 )
@@ -51,6 +52,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. :9090)")
 		faultPlan   = flag.String("fault-plan", "", "replay a named fault plan against the runtime (see retail-chaos -list)")
 		policyName  = flag.String("policy", "retail", "frequency policy: retail, rubik, gemini or eetl")
+		paramsPath  = flag.String("params", "", "serializable policy params JSON (empty = historical defaults)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "retail-live: %v\n", err)
 		flag.Usage()
+		os.Exit(2)
+	}
+	params, err := policy.LoadParams(*paramsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "retail-live: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -115,6 +122,7 @@ func main() {
 		Faults:       inj,
 		Degrade:      degrade,
 		Policy:       *policyName,
+		Params:       params,
 		ProfileAtMax: scaleProfile(cal.ProfileAtMax, *scale),
 	})
 	if err != nil {

@@ -32,6 +32,7 @@ import (
 	"retail/internal/cpu"
 	"retail/internal/live"
 	"retail/internal/obs"
+	"retail/internal/policy"
 	"retail/internal/sim"
 	"retail/internal/workload"
 )
@@ -132,7 +133,7 @@ func main() {
 			Predictor: flatPredictor(1e-6),
 			Backend:   live.NewMockBackend(grid),
 			Exec:      func(live.Request, cpu.Level) {},
-			HeadOnly:  true,
+			Params:    policy.Params{Alg1: policy.Alg1Params{HeadOnly: true}},
 			AppName:   app.Name(),
 		})
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"retail/internal/manager"
 	"retail/internal/nn"
 	"retail/internal/obs"
+	"retail/internal/policy"
 	"retail/internal/server"
 	"retail/internal/sim"
 	"retail/internal/telemetry"
@@ -33,15 +34,16 @@ import (
 
 func main() {
 	var (
-		appName  = flag.String("app", "xapian", "application: "+strings.Join(experiments.AppNames(), ", "))
-		mgrName  = flag.String("manager", "retail", "power manager: retail, rubik, gemini, adrenaline, eetl, pegasus, maxfreq")
-		load     = flag.Float64("load", 0.7, "load as a fraction of calibrated max load")
-		rps      = flag.Float64("rps", 0, "absolute request rate (overrides -load)")
-		workers  = flag.Int("workers", 20, "worker cores")
-		duration = flag.Float64("duration", 0, "measured seconds (0 = auto)")
-		seed     = flag.Int64("seed", 7, "simulation seed")
-		samples  = flag.Int("samples", 1000, "calibration samples per frequency level")
-		quickNN  = flag.Bool("quick-nn", true, "use a small NN for gemini instead of the 5×128")
+		appName    = flag.String("app", "xapian", "application: "+strings.Join(experiments.AppNames(), ", "))
+		mgrName    = flag.String("manager", "retail", "power manager: retail, rubik, gemini, adrenaline, eetl, pegasus, maxfreq")
+		load       = flag.Float64("load", 0.7, "load as a fraction of calibrated max load")
+		rps        = flag.Float64("rps", 0, "absolute request rate (overrides -load)")
+		workers    = flag.Int("workers", 20, "worker cores")
+		duration   = flag.Float64("duration", 0, "measured seconds (0 = auto)")
+		seed       = flag.Int64("seed", 7, "simulation seed")
+		samples    = flag.Int("samples", 1000, "calibration samples per frequency level")
+		quickNN    = flag.Bool("quick-nn", true, "use a small NN for gemini instead of the 5×128")
+		paramsPath = flag.String("params", "", "serializable policy params JSON (empty = historical defaults)")
 
 		specName   = flag.String("spec", "", "cohort workload spec: a builtin name ("+strings.Join(workload.BuiltinSpecNames(), ", ")+") or a JSON file")
 		recordPath = flag.String("record", "", "record the generated request stream to this v2 trace file (requires -spec)")
@@ -111,6 +113,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Load and validate the policy params before any calibration work so a
+	// malformed file fails fast; the zero value keeps historical behavior.
+	params, err := policy.LoadParams(*paramsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "retail-sim: %v\n", err)
+		os.Exit(2)
+	}
 	platform := core.DefaultPlatform().WithWorkers(*workers)
 	cal, err := core.Calibrate(app, platform, *samples, *seed)
 	if err != nil {
@@ -127,24 +136,18 @@ func main() {
 	}
 	var m manager.Manager
 	switch *mgrName {
-	case "retail":
-		m = cal.NewReTail()
-	case "rubik":
-		m = cal.NewRubik()
-	case "gemini":
+	case "retail", "rubik", "gemini", "eetl":
 		var cfg *nn.Config
 		if *quickNN {
 			c := nn.TunedConfig(1, 2, 32, 30, 32)
 			cfg = &c
 		}
-		m, err = cal.NewGemini(cfg)
+		m, err = cal.NewManagerParams(*mgrName, cfg, params)
 		if err != nil {
 			log.Fatal(err)
 		}
 	case "adrenaline":
 		m = cal.NewAdrenaline()
-	case "eetl":
-		m = cal.NewEETL()
 	case "pegasus":
 		m = cal.NewPegasus()
 	case "maxfreq":

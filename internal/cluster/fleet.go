@@ -47,10 +47,17 @@ type FleetConfig struct {
 	// Policy names the per-node DVFS manager (see FleetPolicies).
 	Policy string
 	// Dispatcher names the cross-node routing rule
-	// (see policy.DispatcherNames).
+	// (see policy.DispatcherNames). Empty falls back to
+	// Params.Dispatch.Rule.
 	Dispatcher string
 	// GeminiNN overrides Gemini's network structure (nil = published).
 	GeminiNN *nn.Config
+	// Params is the serializable policy parameterization applied to every
+	// node's manager, to the dispatcher (rule + per-node weights) and —
+	// when neither a spec nor a replay trace carries a class table — to
+	// the per-SLO-class QoS′ targets. The zero value keeps every
+	// historical constant.
+	Params policy.Params
 
 	// RPS is the fleet-wide offered load (split across nodes by the
 	// dispatcher, not evenly).
@@ -163,22 +170,24 @@ func (r *FleetResult) MeanServedLevel() float64 {
 }
 
 // newNodeManager builds one node's DVFS manager from the shared
-// calibration. gemProto carries the trained network; per-node Gemini
-// instances share it but keep private controller state, the same cloning
-// pattern the Fig 11 sweep uses across cells.
-func newNodeManager(name string, cal *core.Calibration, gemProto *manager.Gemini) (manager.Manager, error) {
+// calibration under the fleet's policy parameterization. gemProto
+// carries the trained network; per-node Gemini instances share it but
+// keep private controller state, the same cloning pattern the Fig 11
+// sweep uses across cells.
+func newNodeManager(name string, cal *core.Calibration, gemProto *manager.Gemini, p policy.Params) (manager.Manager, error) {
 	switch name {
 	case "retail":
-		return cal.NewReTail(), nil
+		return cal.NewReTailParams(p), nil
 	case "rubik":
-		return cal.NewRubik(), nil
+		return cal.NewRubikParams(p), nil
 	case "gemini":
 		if gemProto == nil {
 			return nil, fmt.Errorf("cluster: gemini policy needs a trained prototype")
 		}
-		return manager.NewGemini(cal.App.QoS(), cal.App.FeatureSpecs(), gemProto.Config()), nil
+		gcfg := core.ApplyGeminiParams(gemProto.Config(), p)
+		return manager.NewGemini(cal.App.QoS(), cal.App.FeatureSpecs(), gcfg), nil
 	case "eetl":
-		return cal.NewEETL(), nil
+		return cal.NewEETLParams(p), nil
 	default:
 		return nil, fmt.Errorf("cluster: unknown node policy %q (have %v)", name, FleetPolicies())
 	}
@@ -232,7 +241,14 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		}
 		_, classScales = cfg.Spec.Classes()
 	}
-	disp, err := policy.NewDispatcher(cfg.Dispatcher, cfg.Seed)
+	if len(classScales) == 0 {
+		classScales = cfg.Params.ClassScales
+	}
+	rule := cfg.Dispatcher
+	if rule == "" {
+		rule = cfg.Params.Dispatch.Rule
+	}
+	disp, err := policy.NewDispatcherWithWeights(rule, cfg.Seed, cfg.Params.Dispatch.Weights)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +315,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 			Trans:   platform.Trans,
 			Seed:    server.RandomizedSeed(platform.Seed^cfg.Seed, int64(i)+1),
 		})
-		mgr, err := newNodeManager(cfg.Policy, cfg.Cal, gemProto)
+		mgr, err := newNodeManager(cfg.Policy, cfg.Cal, gemProto, cfg.Params)
 		if err != nil {
 			return nil, err
 		}

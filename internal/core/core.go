@@ -151,6 +151,13 @@ func (c *Calibration) requestFeatureIndices() []int {
 
 // NewReTail constructs the ReTail manager from this calibration.
 func (c *Calibration) NewReTail() *manager.ReTail {
+	return c.NewReTailParams(policy.Params{})
+}
+
+// NewReTailParams constructs the ReTail manager under a serializable
+// policy parameterization (the zero value keeps every historical
+// constant — NewReTail is exactly this with empty params).
+func (c *Calibration) NewReTailParams(p policy.Params) *manager.ReTail {
 	cfg := manager.DefaultReTailConfig()
 	cfg.Layout = c.Layout
 	cfg.Model = c.Model
@@ -158,6 +165,7 @@ func (c *Calibration) NewReTail() *manager.ReTail {
 	// live samples from one run never leak into another.
 	cfg.Training = c.Training.Clone()
 	cfg.Stage1Frac = c.Stage1Frac()
+	cfg.Params = p
 	m := manager.NewReTail(c.App.QoS(), cfg)
 	m.SetDriftBaseline(c.BaselineRMSEOverQoS)
 	return m
@@ -263,7 +271,15 @@ func (c *Calibration) Stage1Frac() func(*workload.Request) float64 {
 
 // NewRubik constructs the Rubik baseline from the offline profile.
 func (c *Calibration) NewRubik() *manager.Rubik {
-	return manager.NewRubik(c.App.QoS(), c.ProfileAtMax)
+	return c.NewRubikParams(policy.Params{})
+}
+
+// NewRubikParams constructs the Rubik baseline under a serializable
+// policy parameterization (zero value = the historical 0.999 quantile).
+func (c *Calibration) NewRubikParams(p policy.Params) *manager.Rubik {
+	m := manager.NewRubik(c.App.QoS(), c.ProfileAtMax)
+	m.TailQuantile = p.Rubik.QuantileOr(0.999)
+	return m
 }
 
 // GeminiModel trains (once, memoized) Gemini's network on request-arrival
@@ -295,12 +311,32 @@ func (c *Calibration) GeminiModel(cfg *nn.Config) (*predict.NNModel, error) {
 // NewGemini wraps the (memoized) Gemini network in the two-step-DVFS,
 // request-dropping manager.
 func (c *Calibration) NewGemini(cfg *nn.Config) (*manager.Gemini, error) {
+	return c.NewGeminiParams(cfg, policy.Params{})
+}
+
+// NewGeminiParams is NewGemini under a serializable policy
+// parameterization (zero value = the historical 0.8 boost checkpoint
+// with drop-on-predicted-miss on).
+func (c *Calibration) NewGeminiParams(cfg *nn.Config, p policy.Params) (*manager.Gemini, error) {
 	model, err := c.GeminiModel(cfg)
 	if err != nil {
 		return nil, err
 	}
 	gcfg := manager.DefaultGeminiConfig(model)
+	gcfg = ApplyGeminiParams(gcfg, p)
 	return manager.NewGemini(c.App.QoS(), c.App.FeatureSpecs(), gcfg), nil
+}
+
+// ApplyGeminiParams overlays the serializable Gemini posture knobs onto
+// a (possibly shared-model) GeminiConfig. Exported because the fleet
+// runtime clones per-node managers from a trained prototype's config and
+// must apply the same overlay.
+func ApplyGeminiParams(gcfg manager.GeminiConfig, p policy.Params) manager.GeminiConfig {
+	gcfg.BoostFrac = p.Gemini.BoostFracOr(gcfg.BoostFrac)
+	if p.Gemini.KeepOnPredictedMiss {
+		gcfg.DropOnPredictedMiss = false
+	}
+	return gcfg
 }
 
 // NewAdrenaline derives the classification baseline: the request feature
@@ -320,6 +356,25 @@ func (c *Calibration) NewAdrenaline() *manager.Adrenaline {
 		}
 	}
 	return manager.NewAdrenaline(c.App.QoS(), c.Platform.Grid, best, vals, c.ProfileAtMax)
+}
+
+// NewManagerParams constructs one of the four managed DVFS policies by
+// name under a serializable policy parameterization — the single
+// construction path the fleet and the tuner share, so "policy × params"
+// means the same thing everywhere. gemNN only matters for "gemini"
+// (nil = the published structure).
+func (c *Calibration) NewManagerParams(name string, gemNN *nn.Config, p policy.Params) (manager.Manager, error) {
+	switch name {
+	case "retail":
+		return c.NewReTailParams(p), nil
+	case "rubik":
+		return c.NewRubikParams(p), nil
+	case "gemini":
+		return c.NewGeminiParams(gemNN, p)
+	case "eetl":
+		return c.NewEETLParams(p), nil
+	}
+	return nil, fmt.Errorf("core: unknown managed policy %q (have retail, rubik, gemini, eetl)", name)
 }
 
 // NewPegasus constructs the coarse-grained controller.
@@ -444,6 +499,10 @@ type Result struct {
 
 	Completed int
 	Dropped   int // within the measurement window
+	// Violations counts measured completions whose sojourn exceeded the
+	// QoS latency. The QoS verdict is about the tail percentile; this is
+	// the raw per-request count the tuner's scoring penalizes.
+	Violations int
 
 	MeanLatency  float64 // seconds, sojourn
 	P50, P95     float64
@@ -547,11 +606,15 @@ func Run(cfg RunConfig) (*Result, error) {
 		}
 		classDropped = make([]int, len(classNames))
 	}
+	violations := 0
 	srv.CompletedSink = func(en *sim.Engine, r *workload.Request) {
 		if !measuring {
 			return
 		}
 		lat.Add(float64(r.Sojourn()))
+		if r.Sojourn() > qos.Latency {
+			violations++
+		}
 		if c := int(r.SLOClass); c < len(classHist) {
 			classHist[c].Record(int64(float64(r.Sojourn()) * 1e9))
 		}
@@ -621,6 +684,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		EnergyJ:     srv.Socket.EnergyJoules(end),
 		Completed:   lat.Count(),
 		Dropped:     droppedInWindow,
+		Violations:  violations,
 		QoSTarget:   float64(qos.Latency),
 		Transitions: srv.Socket.Transitions(),
 		Samples:     samples,
@@ -668,5 +732,14 @@ func (r *Result) DropRate() float64 {
 // NewEETL constructs the progress-threshold baseline (related work §II)
 // from the offline profile.
 func (c *Calibration) NewEETL() *manager.EETL {
-	return manager.NewEETL(c.App.QoS(), c.Platform.Grid, c.ProfileAtMax, 0.75)
+	return c.NewEETLParams(policy.Params{})
+}
+
+// NewEETLParams constructs the EETL baseline under a serializable policy
+// parameterization (zero value = the historical 0.75 quantile at slow
+// level MaxLevel/2).
+func (c *Calibration) NewEETLParams(p policy.Params) *manager.EETL {
+	grid := c.Platform.Grid
+	slow := cpu.Level(p.EETL.SlowLevel(int(grid.MaxLevel())))
+	return manager.NewEETLAt(c.App.QoS(), grid, c.ProfileAtMax, p.EETL.QuantileOr(0.75), slow)
 }

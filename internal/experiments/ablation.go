@@ -73,12 +73,12 @@ func Ablation(cfg Config, appName string) (*AblationResult, error) {
 		},
 		"no-monitor": func() manager.Manager {
 			c := baseCfg()
-			c.DisableMonitor = true
+			c.Params.Monitor.Disabled = true
 			return manager.NewReTail(app.QoS(), c)
 		},
 		"head-only": func() manager.Manager {
 			c := baseCfg()
-			c.HeadOnly = true
+			c.Params.Alg1.HeadOnly = true
 			return manager.NewReTail(app.QoS(), c)
 		},
 		"proportional": func() manager.Manager {

@@ -190,13 +190,13 @@ func chaosRunOnce(cfg Config, cal *core.Calibration, mgrName string, rps float64
 			// discards the wrapper — exactly the documented recovery.
 			rt = cal.NewReTailWith(fault.CorruptingPredictor{Inner: cal.Model, Inj: inj})
 		} else {
-			rt = cal.NewReTail()
+			rt = cal.NewReTailParams(cfg.Params)
 		}
 		mgr = rt
 	case "rubik":
-		mgr = cal.NewRubik()
+		mgr = cal.NewRubikParams(cfg.Params)
 	case "gemini":
-		g, err := cal.NewGemini(cfg.GeminiNN)
+		g, err := cal.NewGeminiParams(cfg.GeminiNN, cfg.Params)
 		if err != nil {
 			return nil, err
 		}

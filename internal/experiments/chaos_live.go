@@ -10,6 +10,7 @@ import (
 	"retail/internal/cpu"
 	"retail/internal/fault"
 	"retail/internal/live"
+	"retail/internal/policy"
 	"retail/internal/sim"
 	"retail/internal/telemetry"
 	"retail/internal/workload"
@@ -53,6 +54,9 @@ type LiveChaosConfig struct {
 	Seed int64
 	// Policy is the degradation policy (zero value → DefaultChaosPolicy).
 	Policy live.DegradePolicy
+	// Params is the serializable policy parameterization for the server's
+	// decider and degradation budgets (zero value = historical constants).
+	Params policy.Params
 	// Registry, when non-nil, receives the runtime's telemetry plus the
 	// injector's retail_faults_injected_total counters.
 	Registry *telemetry.Registry
@@ -172,6 +176,7 @@ func RunLiveChaos(cfg LiveChaosConfig) (*LiveChaosReport, error) {
 		AppName:         app.Name(),
 		Faults:          inj,
 		Degrade:         cfg.Policy,
+		Params:          cfg.Params,
 	})
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 
 	"retail/internal/core"
 	"retail/internal/nn"
+	"retail/internal/policy"
 	"retail/internal/sim"
 	"retail/internal/workload"
 )
@@ -49,6 +50,11 @@ type Config struct {
 	// results are identical to untraced ones; the result structs then carry
 	// the recorder for Chrome-trace/CSV export.
 	Trace bool
+	// Params is the serializable policy parameterization under which the
+	// sweeps construct their managers (core.Calibration.New*Params). The
+	// zero value keeps every historical constant, so all golden-pinned
+	// tables are byte-identical without a params file.
+	Params policy.Params
 }
 
 // Default returns the paper-resolution configuration.

@@ -202,6 +202,7 @@ func FleetSweep(cfg Config, opt FleetOptions) (*FleetSweepResult, error) {
 							RPS: rps, Warmup: warmup, Duration: dur,
 							Seed:   cfg.Seed,
 							Ledger: opt.Ledger,
+							Params: cfg.Params,
 						}
 						switch {
 						case opt.Replay != nil:

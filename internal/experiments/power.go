@@ -96,11 +96,12 @@ func fig11App(cfg Config, app workload.App) (*Fig11App, error) {
 	newManager := func(name string) manager.Manager {
 		switch name {
 		case "rubik":
-			return cal.NewRubik()
+			return cal.NewRubikParams(cfg.Params)
 		case "gemini":
-			return manager.NewGemini(app.QoS(), app.FeatureSpecs(), gem.Config())
+			return manager.NewGemini(app.QoS(), app.FeatureSpecs(),
+				core.ApplyGeminiParams(gem.Config(), cfg.Params))
 		case "retail":
-			return cal.NewReTail()
+			return cal.NewReTailParams(cfg.Params)
 		default:
 			return manager.NewMaxFreq()
 		}

@@ -64,8 +64,14 @@ func newDecider(cfg ServerConfig, grid *cpu.Grid) (decider, error) {
 		// apart, which with the same floor silently halves the controller
 		// gain. Half a period keeps the once-per-tick intent under jitter.
 		interval := cfg.MonitorInterval.Seconds()
+		// Params.Monitor overrides per field; Interval is zeroed first
+		// because NewServer already folded a tuned interval into
+		// cfg.MonitorInterval, and the half-period floor must track the
+		// effective tick period, not replace it.
+		mp := cfg.Params.Monitor
+		mp.Interval = 0
 		return &retailDecider{
-			mon: policy.NewMonitor(policy.MonitorConfig{
+			mon: policy.NewMonitor(mp.Apply(policy.MonitorConfig{
 				Target:     qos,
 				Percentile: cfg.QoS.Percentile,
 				Interval:   interval / 2,
@@ -73,30 +79,30 @@ func newDecider(cfg ServerConfig, grid *cpu.Grid) (decider, error) {
 				MinKeep:    20,
 				Cap:        1.1,
 				Alpha:      1,
-			}),
+			})),
 			grid:     grid,
-			headOnly: cfg.HeadOnly,
-			classes:  policy.NewClassTargets(cfg.Classes),
+			headOnly: cfg.Params.Alg1.HeadOnly,
+			classes:  cfg.Params.ClassTargets(),
 		}, nil
 	case "rubik":
 		if len(cfg.ProfileAtMax) == 0 {
 			return nil, fmt.Errorf("live: policy %q needs ProfileAtMax (offline service-time profile)", cfg.Policy)
 		}
 		d := &rubikDecider{
-			tail: policy.NewRubikTail(cfg.ProfileAtMax, 0.999),
+			tail: policy.NewRubikTail(cfg.ProfileAtMax, cfg.Params.Rubik.QuantileOr(0.999)),
 			grid: grid,
 			qos:  qos,
 		}
 		d.pipe.d = d
 		return d, nil
 	case "gemini":
-		return &geminiDecider{grid: grid, qos: qos, boostFrac: 0.8}, nil
+		return &geminiDecider{grid: grid, qos: qos, boostFrac: cfg.Params.Gemini.BoostFracOr(0.8)}, nil
 	case "eetl":
 		if len(cfg.ProfileAtMax) == 0 {
 			return nil, fmt.Errorf("live: policy %q needs ProfileAtMax (offline service-time profile)", cfg.Policy)
 		}
-		slow := grid.MaxLevel() / 2
-		thr := policy.EETLThreshold(cfg.ProfileAtMax, 0.75, grid.MaxFreq(), grid.Freq(slow))
+		slow := cpu.Level(cfg.Params.EETL.SlowLevel(int(grid.MaxLevel())))
+		thr := policy.EETLThreshold(cfg.ProfileAtMax, cfg.Params.EETL.QuantileOr(0.75), grid.MaxFreq(), grid.Freq(slow))
 		return &eetlDecider{
 			grid:      grid,
 			qos:       qos,

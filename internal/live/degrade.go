@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"retail/internal/cpu"
+	"retail/internal/policy"
 )
 
 // DegradePolicy configures the live runtime's graceful-degradation
@@ -48,6 +49,27 @@ type DegradePolicy struct {
 // every decision at the backend.
 func DefaultChaosPolicy() DegradePolicy {
 	return DegradePolicy{ShedFactor: 1.5, DeadlineFactor: 2, DVFSWriteThrough: true}
+}
+
+// withParams overlays the serializable degradation budgets from a
+// policy.Params onto the runtime policy: every non-zero Params field
+// wins, zero fields keep whatever the caller configured (historically
+// the zero value, i.e. shedding and deadline drops off). Run before
+// normalize so params-supplied retry knobs get the same defaulting.
+func (p DegradePolicy) withParams(dp policy.DegradeParams) DegradePolicy {
+	if dp.ShedFactor != 0 {
+		p.ShedFactor = dp.ShedFactor
+	}
+	if dp.DeadlineFactor != 0 {
+		p.DeadlineFactor = dp.DeadlineFactor
+	}
+	if dp.MaxDVFSRetries != 0 {
+		p.MaxDVFSRetries = dp.MaxDVFSRetries
+	}
+	if dp.RetryBackoff != 0 {
+		p.DVFSRetryBackoff = time.Duration(dp.RetryBackoff * 1e9)
+	}
+	return p
 }
 
 // normalize fills the retry defaults.

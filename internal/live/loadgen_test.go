@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"retail/internal/cpu"
+	"retail/internal/policy"
 	"retail/internal/workload"
 )
 
@@ -26,8 +27,8 @@ func saturationServer(t *testing.T, workers int) *Server {
 		// backlog; full-queue mode is O(queue) per decision, which under
 		// deliberate overload turns quadratic and measures the policy,
 		// not the transport this smoke targets.
-		HeadOnly: true,
-		AppName:  "loadgen-smoke",
+		Params:  policy.Params{Alg1: policy.Alg1Params{HeadOnly: true}},
+		AppName: "loadgen-smoke",
 	})
 	if err != nil {
 		t.Fatal(err)

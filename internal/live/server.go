@@ -65,12 +65,6 @@ type ServerConfig struct {
 	// "gemini" or "eetl" — the same policy set the simulator evaluates,
 	// all running on the shared clock-agnostic core in internal/policy.
 	Policy string
-	// HeadOnly makes ReTail's Algorithm 1 examine only the request being
-	// scheduled instead of the whole FCFS queue — the live binding of the
-	// simulator's ablation switch (manager.Config.HeadOnly). Besides the
-	// ablation itself, it bounds per-decision cost at O(levels) regardless
-	// of backlog, which transport saturation tests rely on.
-	HeadOnly bool
 	// ProfileAtMax is the offline service-time profile at max frequency
 	// (seconds), required by the profile-driven baselines (rubik, eetl).
 	ProfileAtMax []float64
@@ -91,18 +85,20 @@ type ServerConfig struct {
 	// faults arrive through the Backend (wrap it with NewFaultyBackend
 	// sharing the same injector). Nil costs the hot path one branch.
 	Faults *fault.Injector
-	// Degrade tunes the graceful-degradation machinery; the zero value
-	// keeps DVFS retry/fallback at safe defaults and leaves admission
-	// control and deadline timeouts off.
+	// Degrade tunes the runtime-side graceful-degradation machinery (DVFS
+	// retry/fallback, write-through); the zero value keeps safe defaults.
+	// The serializable budgets — shed factor, deadline factor, retry
+	// count/backoff — come from Params.Degrade, which overrides any
+	// matching field set here.
 	Degrade DegradePolicy
-	// Classes holds per-SLO-class QoS′ multipliers indexed by
-	// Request.Class (a cohort spec's class table, workload.Spec.Classes).
-	// Empty keeps every class on the unscaled QoS′ — the single-class
-	// behavior. The retail decider scales Algorithm 1's budget by the
-	// head's class, and admission shedding scales its drain budget by the
-	// arriving request's class, both through the one shared
-	// policy.ClassTargets.Apply.
-	Classes []float64
+	// Params is the serializable policy parameterization (policy.Params):
+	// monitor constants, Algorithm 1's HeadOnly ablation, baseline
+	// postures, degradation budgets and the per-SLO-class QoS′
+	// multipliers indexed by Request.Class (a cohort spec's class table,
+	// workload.Spec.Classes — empty keeps the single-class behavior).
+	// The zero value reproduces the runtime's historical constants; a
+	// `-params file.json` flag feeds it from disk.
+	Params policy.Params
 }
 
 // connIO is one connection's response plumbing: resp is an MPSC channel
@@ -246,6 +242,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MonitorInterval <= 0 {
 		cfg.MonitorInterval = 100 * time.Millisecond
 	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if iv := cfg.Params.Monitor.Interval; iv != 0 {
+		// A tuned interval moves the monitor goroutine's tick period, not
+		// just the rate-limit floor inside the monitor.
+		cfg.MonitorInterval = durS(iv)
+	}
 	grid := cfg.Backend.Grid()
 	dec, err := newDecider(cfg, grid)
 	if err != nil {
@@ -264,7 +268,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		dec:     dec,
 		stop:    make(chan struct{}),
 		conns:   map[net.Conn]struct{}{},
-		policy:  cfg.Degrade.normalize(),
+		policy:  cfg.Degrade.withParams(cfg.Params.Degrade).normalize(),
 		applied: make([]appliedState, cfg.Workers),
 	}
 	s.pipe.s = s
@@ -274,7 +278,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		ShedFactor:     s.policy.ShedFactor,
 		DeadlineFactor: s.policy.DeadlineFactor,
 	}
-	s.classes = policy.NewClassTargets(cfg.Classes)
+	s.classes = cfg.Params.ClassTargets()
 	switch {
 	case cfg.TraceCapacity == 0:
 		s.spanCap = 2048

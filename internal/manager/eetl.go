@@ -36,10 +36,25 @@ type EETL struct {
 // are the "long" class (the paper's EETL uses a predetermined progress
 // threshold; the quantile form is the natural way to set it).
 func NewEETL(qos workload.QoS, grid *cpu.Grid, profileAtMax []float64, quantile float64) *EETL {
+	return NewEETLAt(qos, grid, profileAtMax, quantile, grid.MaxLevel()/2)
+}
+
+// NewEETLAt is NewEETL with an explicit slow level (the historical
+// default is MaxLevel/2). The threshold scales with the slow level's
+// frequency — requests execute at that speed until the crossing — so the
+// two must be chosen together, which is why this is one constructor and
+// not a post-construction field write.
+func NewEETLAt(qos workload.QoS, grid *cpu.Grid, profileAtMax []float64, quantile float64, slow cpu.Level) *EETL {
+	if slow < 0 {
+		slow = 0
+	}
+	if slow > grid.MaxLevel() {
+		slow = grid.MaxLevel()
+	}
 	m := &EETL{
 		qos:        qos,
 		grid:       grid,
-		SlowLevel:  grid.MaxLevel() / 2,
+		SlowLevel:  slow,
 		BoostLevel: grid.MaxLevel(),
 	}
 	m.Threshold = sim.Duration(policy.EETLThreshold(

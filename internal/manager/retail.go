@@ -30,12 +30,9 @@ type ReTailConfig struct {
 	// delays only when the new frequency takes effect — never the request.
 	InferenceCost sim.Duration
 	// MonitorInterval is the latency monitor period (paper: 100 ms).
+	// Params.Monitor.Interval, when set, overrides it so a tuned interval
+	// moves the tick schedule and the rate-limit floor together.
 	MonitorInterval sim.Duration
-	// StepFrac is the QoS′ adjustment step as a fraction of QoS (paper: 5%).
-	StepFrac float64
-	// RelaxBelow is the fraction of target tail under which QoS′ is
-	// relaxed upward (paper: 0.9).
-	RelaxBelow float64
 	// DriftThreshold is the RMSE/QoS increase that triggers retraining
 	// (paper: 0.05); DriftWindow is the live-error window size.
 	DriftThreshold float64
@@ -49,21 +46,15 @@ type ReTailConfig struct {
 	// request's category actually needs*. Nil falls back to the global
 	// maximum lateness of the selected features.
 	Stage1Frac func(*workload.Request) float64
-	// QoSPrimeCap bounds QoS′ relative to QoS. The default 1.0 never lets
-	// the internal target exceed QoS: although the constraint is on a
-	// percentile (1% may violate), at light load — with no queueing to
-	// spread sojourns — every slowed request rides QoS′, so a cap above
-	// 1.0 programs tail violations.
-	QoSPrimeCap float64
 
-	// Ablation switches (all false in the paper's design; the ablation
-	// experiments flip them one at a time to quantify each component).
-	//
-	// DisableMonitor pins QoS′ = QoS permanently (Gemini's policy).
-	DisableMonitor bool
-	// HeadOnly makes Algorithm 1 examine only the request being scheduled,
-	// ignoring the queued requests whose queueing delay it creates.
-	HeadOnly bool
+	// Params is the serializable policy parameterization: the QoS′
+	// monitor constants (step, relax threshold, guard band, cap, span,
+	// EWMA alpha, the Disabled ablation), Algorithm 1's HeadOnly ablation
+	// and the per-class targets all come from here. The zero value keeps
+	// every historical constant — the pre-params scalar fields
+	// (StepFrac, RelaxBelow, QoSPrimeCap, DisableMonitor, HeadOnly) this
+	// struct used to carry now live in Params.Monitor / Params.Alg1.
+	Params policy.Params
 }
 
 // DefaultReTailConfig fills the paper's constants, leaving the model and
@@ -72,12 +63,9 @@ func DefaultReTailConfig() ReTailConfig {
 	return ReTailConfig{
 		InferenceCost:   5 * sim.Microsecond,
 		MonitorInterval: 100 * sim.Millisecond,
-		StepFrac:        0.05,
-		RelaxBelow:      0.9,
 		DriftThreshold:  0.05,
 		DriftWindow:     200,
 		RetrainLatency:  50 * sim.Millisecond,
-		QoSPrimeCap:     1.0,
 	}
 }
 
@@ -130,6 +118,11 @@ type ReTail struct {
 
 	retraining bool
 
+	// headOnly / monDisabled cache the Params ablation switches where the
+	// decide and tick hot paths read them without a config copy.
+	headOnly    bool
+	monDisabled bool
+
 	// classes holds the per-SLO-class QoS′ multipliers (empty = identity,
 	// the single-class behavior). The head request's class scales the
 	// budget handed to Algorithm 1 on every decision.
@@ -176,36 +169,33 @@ func NewReTail(qos workload.QoS, cfg ReTailConfig) *ReTail {
 	if cfg.MonitorInterval == 0 {
 		cfg.MonitorInterval = 100 * sim.Millisecond
 	}
-	if cfg.StepFrac == 0 {
-		cfg.StepFrac = 0.05
-	}
-	if cfg.RelaxBelow == 0 {
-		cfg.RelaxBelow = 0.9
-	}
-	if cfg.QoSPrimeCap == 0 {
-		cfg.QoSPrimeCap = 1.0
+	if iv := cfg.Params.Monitor.Interval; iv != 0 {
+		// A tuned interval moves the virtual tick schedule too, not just
+		// the monitor's internal rate-limit floor.
+		cfg.MonitorInterval = sim.Duration(iv)
 	}
 	if cfg.RetrainLatency == 0 {
 		cfg.RetrainLatency = 50 * sim.Millisecond
 	}
 	m := &ReTail{
-		cfg:   cfg,
-		qos:   qos,
-		rd:    policy.NewReadiness(),
-		model: cfg.Model,
-		pred:  map[uint64]*predEntry{},
+		cfg:      cfg,
+		qos:      qos,
+		rd:       policy.NewReadiness(),
+		model:    cfg.Model,
+		pred:     map[uint64]*predEntry{},
+		headOnly: cfg.Params.Alg1.HeadOnly,
+		classes:  cfg.Params.ClassTargets(),
 	}
 	m.pipe.m = m
-	m.mon = policy.NewMonitor(policy.MonitorConfig{
+	// The simulator adapter's historical monitor posture (span 500 ms,
+	// paper constants for everything else); Params overrides per field.
+	m.mon = policy.NewMonitor(cfg.Params.Monitor.Apply(policy.MonitorConfig{
 		Target:     float64(qos.Latency),
 		Percentile: qos.Percentile,
 		Interval:   float64(cfg.MonitorInterval),
-		StepFrac:   cfg.StepFrac,
-		RelaxBelow: cfg.RelaxBelow,
-		Cap:        cfg.QoSPrimeCap,
 		Span:       float64(500 * sim.Millisecond),
-		Disabled:   cfg.DisableMonitor,
-	})
+	}))
+	m.monDisabled = m.mon.Config().Disabled
 	m.drift = predict.NewDriftDetector(float64(qos.Latency), cfg.DriftThreshold, cfg.DriftWindow)
 	return m
 }
@@ -324,7 +314,7 @@ func (m *ReTail) scheduleMonitor(e *sim.Engine) {
 // the historical behavior the ablation goldens encode.
 func (m *ReTail) monitorTick(now policy.Time) {
 	m.mon.Tick(now)
-	if m.cfg.DisableMonitor {
+	if m.monDisabled {
 		return
 	}
 	if m.qosPrimeGauge != nil {
@@ -485,7 +475,7 @@ func (m *ReTail) targetLevel(e *sim.Engine, w *server.Worker, head *workload.Req
 	// policy.ClassTargets.Apply call, which is what keeps the two
 	// adapters' decision streams byte-identical under replay.
 	budget := m.classes.Apply(head.SLOClass, m.mon.QoSPrime())
-	lvl, bind := policy.Alg1(&m.pipe, float64(e.Now()), budget, m.grid.MaxLevel(), m.cfg.HeadOnly)
+	lvl, bind := policy.Alg1(&m.pipe, float64(e.Now()), budget, m.grid.MaxLevel(), m.headOnly)
 	m.bindID = m.pipe.req(bind).ID
 	// Drop the request references so completed requests are collectable
 	// between decisions.

@@ -85,6 +85,7 @@ type Report struct {
 	Fleet   *FleetReport   `json:"fleet,omitempty"`
 	Sim     *SimReport     `json:"sim,omitempty"`
 	Loadgen *LoadgenReport `json:"loadgen,omitempty"`
+	Tune    *TuneReport    `json:"tune,omitempty"`
 }
 
 // NewReport stamps an empty report of the given kind with provenance.
@@ -272,6 +273,53 @@ type LoadgenReport struct {
 
 	// Classes mirrors SimReport.Classes for spec-driven load runs.
 	Classes []SLOClassLatency `json:"classes,omitempty"`
+}
+
+// TuneReport is the digital-twin autotuning payload: every candidate's
+// replay metrics in ranked order, plus the fingerprints (trace, spec,
+// winning params) that make the run re-derivable. Like the simulated
+// kinds it is a pure function of (trace, spec, config, seed), so tune
+// reports golden-pin byte-for-byte under CanonicalJSON. The field is
+// additive: reports of the other kinds omit it and stay byte-identical.
+type TuneReport struct {
+	SpecName string `json:"spec_name,omitempty"`
+	SpecSHA  string `json:"spec_sha"`
+	TraceSHA string `json:"trace_sha"`
+
+	App      string `json:"app"`
+	Manager  string `json:"manager"`
+	Workers  int    `json:"workers"`
+	Replayed int    `json:"replayed"`
+
+	// Axes are the searched field paths; every candidate's Values align
+	// with them.
+	Axes []string `json:"axes"`
+
+	// Candidates is ranked best-first.
+	Candidates []TuneCandidate `json:"candidates"`
+
+	WinnerIndex     int    `json:"winner_index"`
+	WinnerParamsSHA string `json:"winner_params_sha"`
+}
+
+// TuneCandidate is one scored replay.
+type TuneCandidate struct {
+	Rank      int       `json:"rank"`
+	Index     int       `json:"index"`
+	Values    []float64 `json:"values"`
+	ParamsSHA string    `json:"params_sha"`
+
+	Completed  int  `json:"completed"`
+	Dropped    int  `json:"dropped"`
+	Violations int  `json:"violations"`
+	QoSMet     bool `json:"qos_met"`
+
+	P99       float64 `json:"p99_s"`
+	TailAtQoS float64 `json:"tail_at_qos_s"`
+	EnergyJ   float64 `json:"energy_joules"`
+	AvgPowerW float64 `json:"avg_power_w"`
+
+	Score float64 `json:"score"`
 }
 
 // LatencyQuantiles is the standard quantile ladder in seconds.

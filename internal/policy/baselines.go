@@ -20,12 +20,26 @@ type RubikTail struct {
 	Quantile float64
 }
 
-// NewRubikTail copies and sorts the profile.
+// NewRubikTail copies and sorts the profile. A quantile outside the open
+// interval (0,1) — including NaN, which fails every comparison — falls
+// back to 0.75, the same fallback EETLThreshold applies: both estimators
+// interpolate a sorted profile, and an out-of-range quantile would index
+// past its ends. Historical callers pass 0.999, so the fallback never
+// fires on existing configurations.
 func NewRubikTail(profileAtMax []float64, quantile float64) *RubikTail {
 	p := make([]float64, len(profileAtMax))
 	copy(p, profileAtMax)
 	sort.Float64s(p)
-	return &RubikTail{profile: p, Quantile: quantile}
+	return &RubikTail{profile: p, Quantile: clampQuantile(quantile)}
+}
+
+// clampQuantile maps any quantile outside (0,1) — NaN included — to the
+// 0.75 fallback shared by the profile-driven estimators.
+func clampQuantile(q float64) float64 {
+	if !(q > 0 && q < 1) { // negated so NaN (incomparable) also falls back
+		return 0.75
+	}
+	return q
 }
 
 // Tail returns the profiled tail quantile scaled proportionally from
@@ -68,11 +82,10 @@ func GeminiAdmit(elapsed, queueAhead, svcAtMax, qos float64) bool {
 // service-time profile at max frequency: the quantile service time
 // scaled to the slow level's frequency, since that is the speed requests
 // actually execute at before the threshold crossing. A quantile outside
-// (0,1) falls back to 0.75; an empty profile yields 0 (no boosting).
+// (0,1) — NaN included — falls back to 0.75 (see clampQuantile); an
+// empty profile yields 0 (no boosting).
 func EETLThreshold(profileAtMax []float64, quantile, maxFreq, slowFreq float64) Duration {
-	if quantile <= 0 || quantile >= 1 {
-		quantile = 0.75
-	}
+	quantile = clampQuantile(quantile)
 	if len(profileAtMax) == 0 {
 		return 0
 	}

@@ -40,6 +40,13 @@ func DispatcherNames() []string {
 // matters for the randomized rules (power-of-two); deterministic rules
 // ignore it.
 func NewDispatcher(name string, seed int64) (Dispatcher, error) {
+	return NewDispatcherWithWeights(name, seed, nil)
+}
+
+// NewDispatcherWithWeights constructs a dispatcher by name, additionally
+// accepting the "weighted" rule whose per-node capacity weights come
+// from Params.Dispatch.Weights. The built-in rules ignore the weights.
+func NewDispatcherWithWeights(name string, seed int64, weights []float64) (Dispatcher, error) {
 	switch name {
 	case "round-robin":
 		return &RoundRobinDispatch{}, nil
@@ -49,6 +56,8 @@ func NewDispatcher(name string, seed int64) (Dispatcher, error) {
 		return NewPowerOfTwoDispatch(seed), nil
 	case "global-jsq":
 		return &GlobalJSQDispatch{}, nil
+	case "weighted":
+		return NewWeightedDispatch(weights), nil
 	}
 	return nil, fmt.Errorf("policy: unknown dispatcher %q (have %v)", name, DispatcherNames())
 }
@@ -135,6 +144,44 @@ func (d *PowerOfTwoDispatch) Pick(n int, load func(int) int) int {
 		return j
 	}
 	return i
+}
+
+// WeightedDispatch is capacity-weighted least-loaded routing: it picks
+// the node minimizing (load+1)/weight, ties to the lowest index. Equal
+// weights reduce to LeastLoadedDispatch; a node with twice the weight
+// absorbs roughly twice the standing queue before losing a tie — the
+// rule for heterogeneous fleets where nodes differ in worker count or
+// clock ceiling. Fully deterministic (no seed), so placement streams
+// replay byte-identically.
+type WeightedDispatch struct {
+	weights []float64
+}
+
+// NewWeightedDispatch copies the per-node weight table. Missing or
+// non-positive entries behave as weight 1, so a short (or nil) table
+// degrades toward plain least-loaded rather than failing.
+func NewWeightedDispatch(weights []float64) *WeightedDispatch {
+	return &WeightedDispatch{weights: append([]float64(nil), weights...)}
+}
+
+func (d *WeightedDispatch) Name() string { return "weighted" }
+
+func (d *WeightedDispatch) weight(i int) float64 {
+	if i < len(d.weights) && d.weights[i] > 0 {
+		return d.weights[i]
+	}
+	return 1
+}
+
+func (d *WeightedDispatch) Pick(n int, load func(int) int) int {
+	bestIdx := 0
+	bestCost := (float64(load(0)) + 1) / d.weight(0)
+	for i := 1; i < n; i++ {
+		if cost := (float64(load(i)) + 1) / d.weight(i); cost < bestCost {
+			bestIdx, bestCost = i, cost
+		}
+	}
+	return bestIdx
 }
 
 // GlobalJSQDispatch is join-shortest-queue across nodes with the same

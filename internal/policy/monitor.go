@@ -19,6 +19,16 @@ type MonitorConfig struct {
 	// RelaxBelow is the fraction of target tail under which QoS′ is
 	// relaxed upward (paper: 0.9).
 	RelaxBelow float64
+	// GuardBand is the fraction of Target above which the controller
+	// starts cutting QoS′ (default 0.96). Keeping the band a few percent
+	// under the target parks the closed-loop equilibrium just below QoS
+	// instead of oscillating across it; see the commentary in Tick.
+	GuardBand float64
+	// CorrectionBand is the width, as a fraction of Target, over which
+	// the downward correction ramps from a nudge at the guard band to the
+	// full step at GuardBand+CorrectionBand (default 0.06). Narrower
+	// bands react harder to small excursions.
+	CorrectionBand float64
 	// Cap bounds QoS′ relative to Target. The default 1.0 never lets the
 	// internal target exceed QoS: although the constraint is on a
 	// percentile (1% may violate), at light load — with no queueing to
@@ -97,6 +107,12 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 	}
 	if cfg.RelaxBelow == 0 {
 		cfg.RelaxBelow = 0.9
+	}
+	if cfg.GuardBand == 0 {
+		cfg.GuardBand = 0.96
+	}
+	if cfg.CorrectionBand == 0 {
+		cfg.CorrectionBand = 0.06
 	}
 	if cfg.Cap == 0 {
 		cfg.Cap = 1.0
@@ -205,13 +221,13 @@ func (m *Monitor) Tick(now Time) {
 		// violation gets the full step — otherwise measurement noise near
 		// the target triggers full cuts and burns power on services whose
 		// tail legitimately rides close to QoS (ImgDNN at max load). The
-		// band sits at 4% under target so the equilibrium keeps a small
-		// safety margin: with fair JSQ tie-breaking the p99 concentrates
-		// tightly, and a band that starts at the target itself parks the
-		// steady-state tail a hair past it.
-		case m.smoothedTail > 0.96*target:
+		// default band sits at 4% under target so the equilibrium keeps a
+		// small safety margin: with fair JSQ tie-breaking the p99
+		// concentrates tightly, and a band that starts at the target
+		// itself parks the steady-state tail a hair past it.
+		case m.smoothedTail > m.cfg.GuardBand*target:
 			if now >= m.nextAdjustAt || m.smoothedTail > 1.15*target {
-				frac := (m.smoothedTail/target - 0.96) / 0.06
+				frac := (m.smoothedTail/target - m.cfg.GuardBand) / m.cfg.CorrectionBand
 				if frac > 1 {
 					frac = 1
 				}

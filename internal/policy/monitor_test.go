@@ -23,11 +23,28 @@ func TestMonitorDefaults(t *testing.T) {
 	c := m.cfg
 	if c.Interval != 0.1 || c.StepFrac != 0.05 || c.RelaxBelow != 0.9 ||
 		c.Cap != 1.0 || c.Span != 0.5 || c.MinKeep != 60 ||
-		c.MaxWindow != 8192 || c.MinSamples != 20 {
+		c.MaxWindow != 8192 || c.MinSamples != 20 || c.Alpha != 0.35 {
 		t.Fatalf("defaults = %+v", c)
+	}
+	// The guard band and correction band were hardcoded as 0.96/0.06
+	// before they became config fields; the zero config must keep
+	// selecting exactly those values or every sim and live golden shifts.
+	if c.GuardBand != 0.96 || c.CorrectionBand != 0.06 {
+		t.Fatalf("guard band defaults = %v/%v, want 0.96/0.06", c.GuardBand, c.CorrectionBand)
 	}
 	if m.QoSPrime() != 0.010 {
 		t.Fatalf("initial QoS' = %v, want the target", m.QoSPrime())
+	}
+}
+
+// TestMonitorGuardBandConfigurable: raising the guard band past the
+// measured tail suppresses the cut the default band would have made.
+func TestMonitorGuardBandConfigurable(t *testing.T) {
+	wide := NewMonitor(MonitorConfig{Target: 0.010, Percentile: 99, GuardBand: 1.5, CorrectionBand: 0.5})
+	feed(wide, 0, 0.1, 30, 0.012) // 20% past target: inside a 1.5 band
+	wide.Tick(0.1)
+	if wide.QoSPrime() != 0.010 {
+		t.Fatalf("QoS' = %v, want untouched under a 1.5 guard band", wide.QoSPrime())
 	}
 }
 
